@@ -1,0 +1,46 @@
+"""Ablation: BA-buffer size sweep (§VI).
+
+The paper: internal bandwidth saturates around an 8 MB buffer; larger
+NVRAM adds usability but no performance.  In this reproduction the append
+path saturates the flush pipeline from 2 MiB up — same plateau shape,
+earlier knee (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.ablations import run_ba_buffer_size_ablation
+from repro.bench.tables import format_series, format_size
+from repro.sim.units import MiB
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_ba_buffer_size_ablation()
+
+
+def bench_ablation_ba_buffer_size(benchmark, report, ablation):
+    benchmark.pedantic(
+        lambda: run_ba_buffer_size_ablation(sizes_mib=(8,), records=200),
+        rounds=1, iterations=1,
+    )
+    report("ablation_ba_buffer_size", format_series(
+        "Ablation: sustained BA-WAL throughput vs BA-buffer size",
+        "buffer", ablation["throughput"], x_format=format_size,
+        y_format=lambda v: f"{v / 1e9:.2f} GB/s",
+    ))
+
+
+class TestBufferSize:
+    def test_small_buffer_hurts(self, ablation):
+        series = ablation["throughput"]["BA-WAL logging"]
+        assert series[1 * MiB] < series[8 * MiB]
+
+    def test_plateau_beyond_8mib(self, ablation):
+        series = ablation["throughput"]["BA-WAL logging"]
+        assert series[16 * MiB] == pytest.approx(series[8 * MiB], rel=0.05)
+
+    def test_throughput_monotonic_nondecreasing(self, ablation):
+        series = ablation["throughput"]["BA-WAL logging"]
+        sizes = sorted(series)
+        values = [series[size] for size in sizes]
+        assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))

@@ -1,0 +1,38 @@
+"""Ablation: BA-WAL double buffering on/off (§IV-B).
+
+With double buffering, appends continue into one half while the other
+flushes; single-buffered logging (the paper's Redis port) stalls for the
+whole flush+re-pin at every segment boundary.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_double_buffering_ablation
+from repro.bench.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_double_buffering_ablation()
+
+
+def bench_ablation_double_buffering(benchmark, report, ablation):
+    benchmark.pedantic(lambda: run_double_buffering_ablation(records=200),
+                       rounds=1, iterations=1)
+    rows = [
+        (name, f"{bw / 1e9:.2f} GB/s", ablation["stalls"][name])
+        for name, bw in ablation["throughput"].items()
+    ]
+    report("ablation_double_buffering", format_table(
+        "Ablation: BA-WAL sustained logging throughput",
+        ["mode", "throughput", "flush stalls"], rows,
+    ))
+
+
+class TestDoubleBuffering:
+    def test_double_buffering_outperforms_single(self, ablation):
+        assert (ablation["throughput"]["double buffering"]
+                > 1.3 * ablation["throughput"]["single buffer"])
+
+    def test_single_buffer_stalls(self, ablation):
+        assert ablation["stalls"]["single buffer"] > 0

@@ -1,0 +1,45 @@
+"""Ablation: 2B-SSD internal datapath vs an NVMe PMR-style device (§VII).
+
+"A PMR-enabled NVMe SSD ... features no internal data mapping and transfer
+path between its NVRAM and NAND flash memory.  For this reason, data
+transfer between them should go through the host I/O stack."  This bench
+quantifies that difference for draining a filled log segment.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_pmr_ablation
+from repro.bench.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_pmr_ablation()
+
+
+def bench_ablation_pmr(benchmark, report, ablation):
+    benchmark.pedantic(lambda: run_pmr_ablation(segment_mib=1, iterations=1),
+                       rounds=1, iterations=1)
+    segment = ablation["segment_bytes"]
+    rows = [
+        (name, f"{seconds * 1e3:.2f} ms", f"{segment / seconds / 1e9:.2f} GB/s")
+        for name, seconds in ablation["drain_seconds"].items()
+    ]
+    report("ablation_pmr", format_table(
+        f"Ablation: draining a {segment // (1 << 20)} MiB log segment to NAND",
+        ["path", "time", "effective BW"], rows,
+    ))
+
+
+class TestPmr:
+    def test_internal_datapath_faster_than_host_mediated(self, ablation):
+        twob = ablation["drain_seconds"]["2B-SSD BA_FLUSH"]
+        pmr = ablation["drain_seconds"]["PMR (host-mediated)"]
+        assert pmr > 1.5 * twob
+
+    def test_host_mediated_pays_dma_plus_block_write(self, ablation):
+        # The PMR path crosses the host interface twice (DMA out + block
+        # write back), so it cannot beat one internal traversal.
+        twob = ablation["drain_seconds"]["2B-SSD BA_FLUSH"]
+        pmr = ablation["drain_seconds"]["PMR (host-mediated)"]
+        assert pmr > twob

@@ -1,0 +1,39 @@
+"""Ablation: read DMA engine vs plain MMIO reads (§III-A3).
+
+Locates the crossover request size; the paper: "a read operation on 2 KB
+or larger data will benefit significantly from using the read DMA engine".
+"""
+
+import pytest
+
+from repro.bench.ablations import run_read_dma_ablation
+from repro.bench.tables import format_series, format_size, format_us
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_read_dma_ablation()
+
+
+def bench_ablation_read_dma(benchmark, report, ablation):
+    benchmark.pedantic(lambda: run_read_dma_ablation(sizes=(2048,)),
+                       rounds=1, iterations=1)
+    crossover = ablation["crossover"]
+    report("ablation_read_dma", format_series(
+        "Ablation: MMIO read vs read DMA", "size", ablation["latency"],
+        x_format=format_size, y_format=format_us,
+    ) + f"\n\ncrossover (DMA first wins): {crossover} bytes")
+
+
+class TestReadDma:
+    def test_crossover_near_2k(self, ablation):
+        assert 1024 < ablation["crossover"] <= 2048
+
+    def test_dma_wins_at_4k_by_2_6x(self, ablation):
+        mmio = ablation["latency"]["MMIO read"][4096]
+        dma = ablation["latency"]["read DMA"][4096]
+        assert mmio / dma == pytest.approx(2.6, rel=0.15)
+
+    def test_mmio_wins_small(self, ablation):
+        assert (ablation["latency"]["MMIO read"][128]
+                < ablation["latency"]["read DMA"][128])

@@ -1,0 +1,45 @@
+"""Ablation: write amplification of conventional WAL vs BA-WAL (§IV-A).
+
+Conventional logging rewrites the current 4 KiB log page on every small
+commit; BA-WAL absorbs records in the BA-buffer and programs each NAND
+page once per BA_FLUSH.  Measures NAND page programs per commit.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_waf_ablation
+from repro.bench.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_waf_ablation()
+
+
+def bench_ablation_waf(benchmark, report, ablation):
+    benchmark.pedantic(lambda: run_waf_ablation(commits=100), rounds=1, iterations=1)
+    rows = [
+        (name, ablation["nand_page_programs"][name],
+         f"{ablation['programs_per_commit'][name]:.4f}")
+        for name in ablation["nand_page_programs"]
+    ]
+    report("ablation_waf", format_table(
+        "Ablation: NAND page programs for the same committed log stream",
+        ["scheme", "page programs", "programs/commit"], rows,
+    ) + f"\n\nconventional log-page rewrites: {ablation['page_rewrites']}")
+
+
+class TestWaf:
+    def test_ba_wal_programs_far_fewer_pages(self, ablation):
+        conventional = ablation["programs_per_commit"]["conventional WAL"]
+        ba = ablation["programs_per_commit"]["BA-WAL"]
+        assert conventional > 3 * ba
+
+    def test_conventional_rewrites_pages(self, ablation):
+        assert ablation["page_rewrites"] > 0
+
+    def test_ba_wal_single_program_per_page(self, ablation):
+        # BA-WAL programs ~ logged_bytes / page_size pages, once each.
+        expected_pages = ablation["logged_bytes"] / 4096
+        ba_programs = ablation["nand_page_programs"]["BA-WAL"]
+        assert ba_programs <= expected_pages * 1.5

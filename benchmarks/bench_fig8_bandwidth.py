@@ -1,0 +1,75 @@
+"""Fig. 8: streaming bandwidth of block I/O and the 2B internal datapath."""
+
+import pytest
+
+from repro.bench import targets
+from repro.bench.experiments import run_fig8
+from repro.bench.tables import format_gbps, format_series, format_size
+from repro.sim.units import MiB
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(iterations=2)
+
+
+def bench_fig8_bandwidth(benchmark, report, fig8):
+    benchmark.pedantic(lambda: run_fig8(iterations=1), rounds=1, iterations=1)
+    from pathlib import Path
+    from repro.bench.csv_export import series_to_csv
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "fig8a_read_bandwidth.csv").write_text(
+        series_to_csv("size_bytes", fig8["read"]))
+    (results_dir / "fig8b_write_bandwidth.csv").write_text(
+        series_to_csv("size_bytes", fig8["write"]))
+    report("fig8a_read_bandwidth", format_series(
+        "Fig. 8(a): read bandwidth (QD1)", "size", fig8["read"],
+        x_format=format_size, y_format=format_gbps,
+    ))
+    report("fig8b_write_bandwidth", format_series(
+        "Fig. 8(b): write bandwidth (QD1)", "size", fig8["write"],
+        x_format=format_size, y_format=format_gbps,
+    ))
+
+
+class TestFig8Shape:
+    def test_ull_saturates_pcie(self, fig8):
+        # "achieves maximum bandwidth limited by the host interface
+        # (~3.2 GB/s) despite the queue depth of one"
+        for direction in ("read", "write"):
+            peak = fig8[direction]["ULL-SSD block"][16 * MiB]
+            assert peak == pytest.approx(targets.ULL_STREAM_BW, rel=0.05)
+
+    def test_internal_bandwidth_1gb_under_ull(self, fig8):
+        # "lower than ULL-SSD by about 1 GB/s at a request size >= 4 MB"
+        for direction, series in (("read", "2B-SSD internal (BA_PIN)"),
+                                  ("write", "2B-SSD internal (BA_FLUSH)")):
+            gap = fig8[direction]["ULL-SSD block"][16 * MiB] - \
+                fig8[direction][series][16 * MiB]
+            assert gap == pytest.approx(targets.TWOB_INTERNAL_BW_GAP, rel=0.25)
+
+    def test_internal_write_beats_dc_by_700mb(self, fig8):
+        # "outperforms DC-SSD by about 700 MB/s ... for the write"
+        gap = fig8["write"]["2B-SSD internal (BA_FLUSH)"][16 * MiB] - \
+            fig8["write"]["DC-SSD block"][16 * MiB]
+        assert gap == pytest.approx(targets.TWOB_OVER_DC_WRITE_BW, rel=0.25)
+
+    def test_dc_read_gap_closes_at_large_sizes(self, fig8):
+        # "when the read request size increases, their performance gap is
+        # considerably decreased" (DC-SSD read-ahead).
+        internal = fig8["read"]["2B-SSD internal (BA_PIN)"]
+        dc = fig8["read"]["DC-SSD block"]
+        small_gap = internal[64 * 1024] / dc[64 * 1024]
+        large_gap = internal[16 * MiB] / dc[16 * MiB]
+        assert small_gap > 1.5       # internal far ahead at small sizes
+        assert large_gap < 1.1       # nearly closed at 16 MiB
+
+    def test_bandwidth_monotonic_in_request_size(self, fig8):
+        for direction in ("read", "write"):
+            for name, series in fig8[direction].items():
+                sizes = sorted(series)
+                values = [series[size] for size in sizes]
+                assert all(b >= a * 0.98 for a, b in zip(values, values[1:])), (
+                    f"{direction}/{name} bandwidth not monotonic"
+                )

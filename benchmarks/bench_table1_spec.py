@@ -1,0 +1,18 @@
+"""Table I: the 2B-SSD specification, as instantiated by the simulation."""
+
+from repro.bench.experiments import run_table1
+from repro.bench.tables import format_table
+from repro.bench import targets
+
+
+def bench_table1_specification(benchmark, report):
+    spec = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = [(key, value) for key, value in spec.items()]
+    report("table1_spec", format_table(
+        "Table I: 2B-SSD specification (simulated instantiation)",
+        ["Item", "Description"], rows,
+    ))
+    # The paper-fixed parameters must match Table I exactly.
+    assert spec["BA-buffer size"] == "8 MiB"
+    assert spec["Max. entries of BA-buffer"] == targets.TABLE1["Max. entries of BA-buffer"]
+    assert spec["Capacitance"] == "810 uF total"  # 3 x 270 uF

@@ -1,0 +1,26 @@
+"""Shared benchmark plumbing: report emission.
+
+Every benchmark renders the paper-style table for its figure, prints it
+to the terminal (bypassing pytest capture so it shows up in piped output)
+and archives it under ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Callable fixture: ``report(name, text)`` prints and archives a report."""
+
+    def emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit

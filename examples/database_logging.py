@@ -1,0 +1,79 @@
+"""Database logging on 2B-SSD: the paper's case study in miniature (§IV).
+
+Runs the RocksDB-like LSM store under YCSB workload A against four log
+configurations — conventional WAL on a datacenter SSD, on an ultra-low-
+latency SSD, BA-WAL on the 2B-SSD, and asynchronous commit — and prints
+the Fig. 9-style throughput comparison plus the per-commit latency
+decomposition behind it.
+
+Run:  python examples/database_logging.py
+"""
+
+from repro.bench.drivers import run_ycsb_on_lsm
+from repro.bench.tables import format_table
+from repro.db.lsm import LSMTree, MemoryTableStorage
+from repro.platform import Platform
+from repro.sim.units import MiB
+from repro.ssd import DC_SSD, ULL_SSD
+from repro.wal import BaWAL, BlockWAL, CommitMode
+from repro.workloads import YcsbConfig, YcsbWorkload
+
+OPS = 1200
+PAYLOAD = 1024
+
+
+def build(config: str):
+    platform = Platform(seed=7)
+    if config == "2B-SSD (BA-WAL)":
+        wal = BaWAL(platform.engine, platform.api, area_pages=32768)
+        platform.engine.run_process(wal.start())
+    else:
+        profile = DC_SSD if "DC" in config else ULL_SSD
+        mode = (CommitMode.ASYNCHRONOUS if "async" in config
+                else CommitMode.SYNCHRONOUS)
+        device = platform.add_block_ssd(profile, name="log")
+        wal = BlockWAL(platform.engine, device, platform.cpu, mode=mode,
+                       area_pages=32768)
+    tree = LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine),
+                   memtable_bytes=2 * MiB, rng=platform.rng.fork("lsm"))
+    workload = YcsbWorkload(
+        YcsbConfig.workload_a(payload_bytes=PAYLOAD, record_count=800),
+        platform.rng.fork("ycsb").stream("ops"),
+    )
+    return platform, tree, workload
+
+
+def main() -> None:
+    configs = [
+        "DC-SSD (sync WAL)",
+        "ULL-SSD (sync WAL)",
+        "2B-SSD (BA-WAL)",
+        "ULL-SSD (async, can lose data)",
+    ]
+    rows = []
+    baseline = None
+    for config in configs:
+        platform, tree, workload = build(config)
+        result = run_ycsb_on_lsm(platform.engine, tree, workload, OPS, clients=4)
+        if baseline is None:
+            baseline = result.throughput
+        rows.append((
+            config,
+            f"{result.throughput:,.0f}",
+            f"{result.throughput / baseline:.2f}x",
+            f"{result.mean_commit_latency * 1e6:.2f}us",
+            "no" if "async" in config else "yes",
+        ))
+    print(format_table(
+        f"LSM store, YCSB-A, {PAYLOAD} B payloads, {OPS} ops",
+        ["log configuration", "ops/s", "speedup", "commit wait/op", "durable?"],
+        rows,
+    ))
+    print()
+    print("BA-WAL gets asynchronous-commit throughput *with* synchronous-commit")
+    print("durability: log records persist in the capacitor-backed BA-buffer at")
+    print("MMIO speed, and reach NAND later via BA_FLUSH, off the critical path.")
+
+
+if __name__ == "__main__":
+    main()

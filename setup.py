@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The sandboxed environment has no network and no ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+with older pip) install the package from ``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+``repro.bench.experiments`` contains one function per evaluation artifact
+(Table I, Figs. 7-10); ``repro.bench.drivers`` runs workloads against the
+database engines with concurrent closed-loop clients; ``repro.bench.tables``
+formats results the way the paper reports them.  The ``benchmarks/``
+directory wraps these in pytest-benchmark entry points.
+"""
+
+from repro.bench.drivers import (
+    RunResult,
+    run_linkbench_on_relational,
+    run_ycsb_on_lsm,
+    run_ycsb_on_memkv,
+)
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "RunResult",
+    "format_series",
+    "format_table",
+    "run_linkbench_on_relational",
+    "run_ycsb_on_lsm",
+    "run_ycsb_on_memkv",
+]

@@ -1,0 +1,49 @@
+"""CSV export of benchmark series and tables.
+
+The text reports under ``benchmarks/results/`` are for humans; these
+helpers write the same data as CSV for plotting pipelines (the natural
+next step for anyone regenerating the paper's figures graphically).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+
+def series_to_csv(x_label: str, series: dict[str, dict[Any, float]]) -> str:
+    """One row per x value, one column per series (missing -> empty)."""
+    xs = sorted({x for points in series.values() for x in points})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([x_label, *series.keys()])
+    for x in xs:
+        writer.writerow([x] + [series[name].get(x, "") for name in series])
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def csv_to_series(text: str) -> tuple[str, dict[str, dict[str, float]]]:
+    """Inverse of :func:`series_to_csv` (values parsed as float when possible)."""
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader)
+    x_label, names = header[0], header[1:]
+    series: dict[str, dict[str, float]] = {name: {} for name in names}
+    for row in reader:
+        x = row[0]
+        for name, cell in zip(names, row[1:]):
+            if cell != "":
+                try:
+                    series[name][x] = float(cell)
+                except ValueError:
+                    series[name][x] = cell  # type: ignore[assignment]
+    return x_label, series

@@ -1,0 +1,75 @@
+"""Latency distribution recording: percentiles and tail behaviour.
+
+§IV-A claims BA-WAL "optimizes both tail latencies and SSD lifespan";
+the WAF ablation covers lifespan, and :class:`LatencyRecorder` covers the
+tail: an exact reservoir of samples with percentile queries, used by the
+tail-latency ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects latency samples and answers percentile queries."""
+
+    samples: list = field(default_factory=list)
+    _sorted: bool = True
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.samples.append(latency)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self.samples.sort()
+            self._sorted = True
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile by linear interpolation (pct in [0, 100])."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        self._ensure_sorted()
+        if len(self.samples) == 1:
+            return self.samples[0]
+        rank = pct / 100 * (len(self.samples) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return self.samples[low]
+        fraction = rank - low
+        # low + f*(high-low) is exact when both endpoints are equal,
+        # keeping percentiles monotonic at floating-point resolution.
+        return self.samples[low] + fraction * (self.samples[high] - self.samples[low])
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        self._ensure_sorted()
+        return self.samples[-1]
+
+    def summary(self) -> dict[str, float]:
+        """The standard latency summary: mean, p50/p90/p99/p999, max."""
+        return {
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "max": self.maximum,
+        }

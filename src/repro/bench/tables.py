@@ -1,0 +1,58 @@
+"""Plain-text table/series formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, series: dict[str, dict[Any, float]],
+                  x_format=str, y_format=None) -> str:
+    """Render one figure's line series as a table: one row per x value."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    y_fmt = y_format or (lambda v: f"{v:.3g}")
+    for x in xs:
+        row = [x_format(x)]
+        for name in series:
+            value = series[name].get(x)
+            row.append(y_fmt(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable request size (8B, 1.5KiB, 16MiB)."""
+    for unit, divisor in (("MiB", 1024 * 1024), ("KiB", 1024)):
+        if nbytes >= divisor:
+            value = nbytes / divisor
+            text = f"{value:.1f}".rstrip("0").rstrip(".")
+            return f"{text}{unit}"
+    return f"{nbytes}B"
+
+
+def format_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.2f}us"
+
+
+def format_gbps(bytes_per_sec: float) -> str:
+    return f"{bytes_per_sec / 1e9:.2f}GB/s"

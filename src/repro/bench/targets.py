@@ -1,0 +1,61 @@
+"""The paper's reported numbers, collected for comparison and calibration.
+
+Every constant here is lifted from the text of the paper's Section V (or
+Table I); ``tests/test_calibration.py`` asserts the simulation reproduces
+them within tolerance, and EXPERIMENTS.md reports measured-vs-paper.
+"""
+
+from repro.sim.units import MiB, USEC
+
+# -- Table I -------------------------------------------------------------------
+
+TABLE1 = {
+    "Host interface": "PCIe Gen.3 x4",
+    "Protocol": "NVMe 1.2",
+    "Capacity": "800 GB",
+    "Storage medium": "Single-bit NAND flash",
+    "Capacitance": "270 uF x 3",
+    "BA-buffer size": 8 * MiB,
+    "Max. entries of BA-buffer": 8,
+}
+
+# -- Fig. 7(a): read latency ------------------------------------------------------
+
+ULL_READ_4K = 13.2 * USEC          # "150 us vs. 13.2 us"
+MMIO_READ_4K = 150 * USEC          # uncacheable MMIO read of 4 KiB
+DC_OVER_ULL_READ_RATIO = 6.3       # "6.3x shorter latencies than DC-SSD"
+READ_DMA_4K = 58 * USEC            # "latency of approximately 58 us"
+READ_DMA_SPEEDUP_4K = 2.6          # "accelerates ... by 2.6x at 4 KB"
+READ_DMA_VS_DC = 0.60              # "40% shorter than that of DC-SSD"
+MMIO_VS_ULL_CROSSOVER = 350        # "at a read request size of ~350 bytes"
+MMIO_VS_DC_CROSSOVER = 2048        # "... and 2 KB, respectively"
+
+# -- Fig. 7(b): write latency ------------------------------------------------------
+
+ULL_WRITE_4K = 10 * USEC           # "ULL-SSD and 2B-SSD take 10 us"
+DC_WRITE_4K = 17 * USEC            # "whereas DC-SSD takes 17 us"
+MMIO_WRITE_8B = 630e-9             # "8-byte MMIO write only consumes 630 ns"
+MMIO_WRITE_4K = 2 * USEC           # "increases from 630 ns to 2 us"
+PERSISTENT_OVERHEAD_SMALL = 0.15   # "approximately 15% longer latency"
+PERSISTENT_OVERHEAD_4K = 0.47      # "up to 47% at 4 KB"
+MMIO_WRITE_SPEEDUP = 16.6          # "16.6x shorter latency than modern SSDs"
+
+# -- Fig. 8: bandwidth ---------------------------------------------------------------
+
+ULL_STREAM_BW = 3.2e9              # "around 3.2 GB/s with PCIe Gen.3 x4"
+TWOB_INTERNAL_BW_GAP = 1.0e9       # "lower than ULL-SSD by about 1 GB/s"
+TWOB_OVER_DC_WRITE_BW = 0.7e9      # "outperforms DC-SSD by about 700 MB/s"
+
+# -- Fig. 9: application throughput ---------------------------------------------------
+
+GAIN_VS_DC_RANGE = (1.2, 2.8)      # "1.2x and 2.8x speed-up compared to DC-SSD"
+GAIN_VS_ULL_RANGE = (1.15, 2.3)    # "1.15 ~ 2.3x ... compared to ULL-SSD"
+FRACTION_OF_ASYNC = (0.75, 0.98)   # "achieves 75 ~ 95% from ASYNC"
+ULL_VS_DC_ROCKSDB_MAX = 1.5        # "maximum improvement of ULL-SSD reaches 1.5x"
+COMMIT_OVERHEAD_REDUCTION = 26     # "reduce the overhead ... up to 26x"
+
+# -- Fig. 10: heterogeneous memory ------------------------------------------------------
+
+PM_DC_VS_BASELINE = -0.006         # "approximately 0.6% lower"
+PM_ULL_VS_BASELINE = +0.004        # "0.4% higher throughput"
+FIG10_TOLERANCE = 0.05             # all four configurations nearly identical

@@ -1,0 +1,202 @@
+"""Command-line interface: run any paper experiment without writing code.
+
+::
+
+    python -m repro list                 # what can be run
+    python -m repro table1               # device spec
+    python -m repro fig7                 # latency sweeps
+    python -m repro fig8                 # bandwidth sweeps
+    python -m repro fig9 [--quick]       # application throughput (3 panels)
+    python -m repro fig10                # heterogeneous-memory comparison
+    python -m repro ablations            # all five+ ablation studies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import ablations as ab
+from repro.bench import experiments as ex
+from repro.bench.tables import (
+    format_gbps,
+    format_series,
+    format_size,
+    format_table,
+    format_us,
+)
+
+
+def _cmd_table1(_args) -> None:
+    spec = ex.run_table1()
+    print(format_table("Table I: 2B-SSD specification",
+                       ["Item", "Description"], list(spec.items())))
+
+
+def _cmd_fig7(_args) -> None:
+    fig7 = ex.run_fig7()
+    print(format_series("Fig. 7(a): read latency (QD1)", "size", fig7["read"],
+                        x_format=format_size, y_format=format_us))
+    print()
+    print(format_series("Fig. 7(b): write latency (QD1)", "size", fig7["write"],
+                        x_format=format_size, y_format=format_us))
+
+
+def _cmd_fig8(_args) -> None:
+    fig8 = ex.run_fig8()
+    print(format_series("Fig. 8(a): read bandwidth", "size", fig8["read"],
+                        x_format=format_size, y_format=format_gbps))
+    print()
+    print(format_series("Fig. 8(b): write bandwidth", "size", fig8["write"],
+                        x_format=format_size, y_format=format_gbps))
+
+
+def _cmd_fig9(args) -> None:
+    txns = 500 if args.quick else 1500
+    ops = 400 if args.quick else 1200
+
+    postgres = ex.run_fig9_postgres(txns=txns)
+    rows = [(config, f"{result.throughput:,.0f}",
+             f"{result.throughput / postgres['DC-SSD'].throughput:.2f}x")
+            for config, result in postgres.items()]
+    print(format_table("Fig. 9(a): PostgreSQL-like + LinkBench",
+                       ["config", "txn/s", "vs DC"], rows))
+    print()
+    for name, runner in (("9(b): RocksDB-like + YCSB-A", ex.run_fig9_rocksdb),
+                         ("9(c): Redis-like + YCSB-A", ex.run_fig9_redis)):
+        results = runner(ops=ops)
+        rows = []
+        for payload, configs in results.items():
+            base = configs["DC-SSD"].throughput
+            for config, result in configs.items():
+                rows.append((payload, config, f"{result.throughput:,.0f}",
+                             f"{result.throughput / base:.2f}x"))
+        print(format_table(f"Fig. {name}",
+                           ["payload B", "config", "ops/s", "vs DC"], rows))
+        print()
+
+
+def _cmd_fig10(args) -> None:
+    results = ex.run_fig10(txns=500 if args.quick else 1500)
+    base = results["2B-SSD (baseline)"].throughput
+    rows = [(config, f"{result.throughput:,.0f}",
+             f"{result.throughput / base:.3f}")
+            for config, result in results.items()]
+    print(format_table("Fig. 10: heterogeneous memory vs hybrid store",
+                       ["config", "txn/s", "normalized"], rows))
+
+
+def _cmd_ablations(_args) -> None:
+    wc = ab.run_write_combining_ablation()
+    print(format_series("Write combining vs uncombined (latency)", "size",
+                        wc["latency"], x_format=format_size, y_format=format_us))
+    print()
+    dma = ab.run_read_dma_ablation()
+    print(format_series("MMIO read vs read DMA", "size", dma["latency"],
+                        x_format=format_size, y_format=format_us))
+    print(f"crossover: {dma['crossover']} bytes")
+    print()
+    double = ab.run_double_buffering_ablation()
+    print(format_table("Double buffering", ["mode", "GB/s", "stalls"], [
+        (name, f"{bw / 1e9:.2f}", double["stalls"][name])
+        for name, bw in double["throughput"].items()
+    ]))
+    print()
+    sizes = ab.run_ba_buffer_size_ablation()
+    print(format_series("BA-buffer size sweep", "buffer",
+                        sizes["throughput"], x_format=format_size,
+                        y_format=lambda v: f"{v / 1e9:.2f} GB/s"))
+    print()
+    waf = ab.run_waf_ablation()
+    print(format_table("Write amplification", ["scheme", "programs/commit"], [
+        (name, f"{value:.4f}")
+        for name, value in waf["programs_per_commit"].items()
+    ]))
+    print()
+    tail = ab.run_tail_latency_ablation()
+    print(format_table("Commit tail latency",
+                       ["scheme", "p50", "p99", "max"], [
+                           (name, format_us(s["p50"]), format_us(s["p99"]),
+                            format_us(s["max"]))
+                           for name, s in tail.items()
+                       ]))
+    print()
+    pmr = ab.run_pmr_ablation()
+    print(format_table("PMR vs internal datapath (4 MiB drain)",
+                       ["path", "ms"], [
+                           (name, f"{seconds * 1e3:.2f}")
+                           for name, seconds in pmr["drain_seconds"].items()
+                       ]))
+
+
+def _cmd_report(args) -> None:
+    """Run every experiment and write a single markdown report."""
+    import contextlib
+    import io
+    import pathlib
+
+    sections = [
+        ("Table I", _cmd_table1),
+        ("Fig. 7", _cmd_fig7),
+        ("Fig. 8", _cmd_fig8),
+        ("Fig. 9", _cmd_fig9),
+        ("Fig. 10", _cmd_fig10),
+        ("Ablations", _cmd_ablations),
+    ]
+    parts = ["# 2B-SSD reproduction report",
+             "",
+             "Generated by `python -m repro report`.  Paper-vs-measured",
+             "commentary lives in EXPERIMENTS.md; these are the raw tables.",
+             ""]
+    for title, runner in sections:
+        print(f"running {title} ...", flush=True)
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            runner(args)
+        parts.append(f"## {title}\n")
+        parts.append("```")
+        parts.append(buffer.getvalue().rstrip())
+        parts.append("```")
+        parts.append("")
+    output = pathlib.Path(args.output)
+    output.write_text("\n".join(parts) + "\n")
+    print(f"wrote {output}")
+
+
+COMMANDS = {
+    "table1": (_cmd_table1, "print the Table I device specification"),
+    "fig7": (_cmd_fig7, "run the Fig. 7 latency sweeps"),
+    "fig8": (_cmd_fig8, "run the Fig. 8 bandwidth sweeps"),
+    "fig9": (_cmd_fig9, "run the Fig. 9 application benchmarks"),
+    "fig10": (_cmd_fig10, "run the Fig. 10 comparison"),
+    "ablations": (_cmd_ablations, "run every ablation study"),
+    "report": (_cmd_report, "run everything and write a markdown report"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="2B-SSD (ISCA 2018) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--quick", action="store_true",
+                         help="smaller run (faster, noisier)")
+        if name == "report":
+            cmd.add_argument("--output", default="REPORT.md",
+                             help="report file path (default REPORT.md)")
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name, (_fn, help_text) in COMMANDS.items():
+            print(f"  {name:10s} {help_text}")
+        return 0
+    COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

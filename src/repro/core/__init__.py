@@ -1,0 +1,51 @@
+"""The paper's contribution: the 2B-SSD device and its host APIs.
+
+This package implements §III of the paper end to end:
+
+* :class:`TwoBSSD` — an ULL-class NVMe SSD extended with a BAR1 window,
+  the BA-buffer (8 MiB of capacitor-backed internal DRAM), the mapping
+  table between buffer offsets and NAND LBA ranges, the LBA checker that
+  gates block I/O to pinned ranges, the read DMA engine, and the recovery
+  manager;
+* :class:`TwoBApiClient` — the host-side API (ioctl-passed vendor
+  commands): ``BA_PIN``, ``BA_FLUSH``, ``BA_SYNC``, ``BA_GET_ENTRY_INFO``,
+  ``BA_READ_DMA``, plus mmap-style MMIO access to the BA-buffer;
+* :class:`PowerController` — fault injection: coordinated power loss and
+  recovery across the host CPU, the PCIe link, and devices.
+"""
+
+from repro.core.allocator import AllocationError, BaBufferAllocator, BaSlice
+from repro.core.api import TwoBApiClient
+from repro.core.device import TwoBSSD
+from repro.core.faults import CrashHarness, CrashOutcome
+from repro.core.errors import (
+    BaBufferError,
+    EntryNotFoundError,
+    GatedLbaError,
+    PinConflictError,
+    RecoveryDataLossError,
+)
+from repro.core.mapping_table import BaMappingEntry, BaMappingTable
+from repro.core.mmap_view import MmapView
+from repro.core.params import BaParams
+from repro.core.power import PowerController
+
+__all__ = [
+    "AllocationError",
+    "BaBufferAllocator",
+    "BaBufferError",
+    "BaSlice",
+    "CrashHarness",
+    "CrashOutcome",
+    "BaMappingEntry",
+    "BaMappingTable",
+    "BaParams",
+    "EntryNotFoundError",
+    "GatedLbaError",
+    "MmapView",
+    "PinConflictError",
+    "PowerController",
+    "RecoveryDataLossError",
+    "TwoBApiClient",
+    "TwoBSSD",
+]

@@ -1,0 +1,88 @@
+"""BA-buffer partitioning: hand out entry ids and buffer slices.
+
+Multi-tenant setups (several BA-WALs or pinned regions on one device)
+must carve the 8-entry mapping table and the 8 MiB buffer into disjoint
+pieces.  Doing the arithmetic by hand is error-prone; the allocator makes
+it declarative:
+
+.. code-block:: python
+
+    allocator = BaBufferAllocator(platform.device)
+    wal_slice = allocator.allocate(entries=2, nbytes=2 * MiB)   # a BA-WAL
+    pin_slice = allocator.allocate(entries=1, nbytes=4096)      # one page
+    wal = BaWAL(engine, api, segment_bytes=1 * MiB,
+                **wal_slice.wal_kwargs())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.device import TwoBSSD
+
+
+class AllocationError(Exception):
+    """Raised when the mapping table or buffer space is exhausted."""
+
+
+@dataclass(frozen=True)
+class BaSlice:
+    """A reserved set of entry ids plus a contiguous buffer range."""
+
+    entry_ids: tuple[int, ...]
+    buffer_base: int
+    nbytes: int
+
+    def wal_kwargs(self) -> dict:
+        """Constructor keywords for a :class:`~repro.wal.BaWAL` using this
+        slice (requires exactly two entries)."""
+        if len(self.entry_ids) != 2:
+            raise AllocationError(
+                f"a BA-WAL needs a 2-entry slice, this one has {len(self.entry_ids)}"
+            )
+        return {"entry_ids": (self.entry_ids[0], self.entry_ids[1]),
+                "buffer_base": self.buffer_base}
+
+
+class BaBufferAllocator:
+    """First-fit allocator over one device's mapping table + BA-buffer."""
+
+    def __init__(self, device: TwoBSSD) -> None:
+        self.device = device
+        self._next_entry = 0
+        self._next_offset = 0
+
+    @property
+    def entries_left(self) -> int:
+        return self.device.ba_params.max_entries - self._next_entry
+
+    @property
+    def bytes_left(self) -> int:
+        return self.device.ba_params.buffer_bytes - self._next_offset
+
+    def allocate(self, entries: int, nbytes: int) -> BaSlice:
+        """Reserve ``entries`` mapping entries and ``nbytes`` of buffer."""
+        page_size = self.device.ba_params.page_size
+        if entries < 1:
+            raise AllocationError(f"need at least one entry, got {entries}")
+        if nbytes < page_size or nbytes % page_size:
+            raise AllocationError(
+                f"slice size must be a positive multiple of {page_size}, got {nbytes}"
+            )
+        if entries > self.entries_left:
+            raise AllocationError(
+                f"{entries} entries requested, {self.entries_left} left "
+                f"(mapping table holds {self.device.ba_params.max_entries})"
+            )
+        if nbytes > self.bytes_left:
+            raise AllocationError(
+                f"{nbytes} buffer bytes requested, {self.bytes_left} left"
+            )
+        slice_ = BaSlice(
+            entry_ids=tuple(range(self._next_entry, self._next_entry + entries)),
+            buffer_base=self._next_offset,
+            nbytes=nbytes,
+        )
+        self._next_entry += entries
+        self._next_offset += nbytes
+        return slice_

@@ -1,0 +1,129 @@
+"""The BA-buffer manager (§III-A2): the internal DRAM<->NAND datapath.
+
+The BA-buffer is a reserved region of the SSD-internal DRAM.  Its logic —
+mapping-table maintenance and page movement — runs as firmware on an ARM
+core inside the device; that core is modeled as a capacity-1 resource whose
+per-page service time bounds the internal bandwidth at
+``page_size / firmware_per_page`` (~2.27 GB/s), matching the Fig. 8 plateau
+("the software firmware that runs on ARM cores is mainly involved in the
+internal datapath").  The NAND accesses themselves fan out across dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.errors import PinConflictError
+from repro.core.mapping_table import BaMappingEntry, BaMappingTable
+from repro.core.params import BaParams
+from repro.host.memory import ByteRegion
+from repro.sim import Engine, Resource
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:
+    from repro.ssd.device import BlockSSD
+
+
+@dataclass
+class BaBufferStats:
+    pins: int = 0
+    flushes: int = 0
+    pages_pinned: int = 0
+    pages_flushed: int = 0
+
+
+class BaBufferManager:
+    """Firmware logic: pin (NAND -> buffer) and flush (buffer -> NAND)."""
+
+    def __init__(self, engine: Engine, device: "BlockSSD", dram: ByteRegion,
+                 params: BaParams, table: BaMappingTable) -> None:
+        self.engine = engine
+        self.device = device
+        self.dram = dram
+        self.params = params
+        self.table = table
+        self._firmware_core = Resource(engine)
+        self.stats = BaBufferStats()
+
+    # -- BA_PIN ----------------------------------------------------------------
+
+    def pin(self, entry_id: int, offset: int, lba: int, length: int) -> Iterator[Event]:
+        """Process: load NAND pages into the buffer and record the mapping.
+
+        Validation happens before any data movement; a rejected pin has no
+        side effects.
+        """
+        npages = -(-length // self.params.page_size)
+        if lba + npages > self.device.logical_pages:
+            raise PinConflictError(
+                f"LBA range [{lba}, +{npages}) exceeds device of "
+                f"{self.device.logical_pages} pages"
+            )
+        entry = self.table.add(entry_id, offset, lba, length)
+        page_procs = [
+            self.engine.process(self._pin_page(entry, index))
+            for index in range(npages)
+        ]
+        yield self.engine.all_of(page_procs)
+        self.stats.pins += 1
+        self.stats.pages_pinned += npages
+        return entry
+
+    def _pin_page(self, entry: BaMappingEntry, index: int) -> Iterator[Event]:
+        lpn = entry.lba + index
+        cached = self.device.cached_page(lpn)
+        mapped = cached is not None or self.device.ftl.map.lookup(lpn) is not None
+        core_req = self._firmware_core.request()
+        yield core_req
+        try:
+            # Trimmed/unwritten pages move no data: bookkeeping cost only
+            # (the fast path log recycling depends on).
+            cost = (self.params.firmware_per_page if mapped
+                    else self.params.firmware_per_unmapped_page)
+            yield self.engine.timeout(cost)
+        finally:
+            self._firmware_core.release(core_req)
+        if cached is not None:
+            data = cached  # already in device DRAM; no media access needed
+        else:
+            data = yield self.engine.process(self.device.ftl.read(lpn))
+        self.dram.write(entry.offset + index * self.params.page_size, data)
+
+    # -- BA_FLUSH ---------------------------------------------------------------
+
+    def flush(self, entry_id: int) -> Iterator[Event]:
+        """Process: write the entry's buffer contents to its NAND pages and
+        delete the entry (§III-C: successful BA_FLUSH removes the mapping)."""
+        entry = self.table.get(entry_id)
+        npages = -(-entry.length // self.params.page_size)
+        page_procs = [
+            self.engine.process(self._flush_page(entry, index))
+            for index in range(npages)
+        ]
+        yield self.engine.all_of(page_procs)
+        self.table.remove(entry_id)
+        self.stats.flushes += 1
+        self.stats.pages_flushed += npages
+        return entry
+
+    def _flush_page(self, entry: BaMappingEntry, index: int) -> Iterator[Event]:
+        lpn = entry.lba + index
+        core_req = self._firmware_core.request()
+        yield core_req
+        try:
+            yield self.engine.timeout(self.params.firmware_per_page)
+        finally:
+            self._firmware_core.release(core_req)
+        # Any write-cache copy of this page predates the pin (the LBA
+        # checker gated block writes since); our bytes supersede it.
+        self.device.supersede_page(lpn)
+        yield self.engine.process(self.device.wait_destage(lpn))
+        data = self.dram.read(entry.offset + index * self.params.page_size,
+                              self.params.page_size)
+        yield self.engine.process(self.device.ftl.write(lpn, data))
+
+    # -- BA_GET_ENTRY_INFO ----------------------------------------------------------
+
+    def get_entry_info(self, entry_id: int) -> BaMappingEntry:
+        return self.table.get(entry_id)

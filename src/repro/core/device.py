@@ -1,0 +1,100 @@
+"""The 2B-SSD device: an ULL-class block SSD plus the byte path.
+
+Composes every §III component over the block device of
+:mod:`repro.ssd.device`:
+
+* BAR manager — a second BAR (BAR1) whose window the ATU redirects into
+  the BA-buffer region of the internal DRAM;
+* BA-buffer manager — mapping table + internal DRAM<->NAND datapath;
+* LBA checker — installed as the block path's ``lba_gate``;
+* read DMA engine;
+* recovery manager — capacitor-backed persistence of the BA-buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ba_buffer import BaBufferManager
+from repro.core.lba_checker import LbaChecker
+from repro.core.mapping_table import BaMappingTable
+from repro.core.params import BaParams
+from repro.core.read_dma import ReadDmaEngine
+from repro.core.recovery import RecoveryManager
+from repro.host.memory import ByteRegion
+from repro.pcie.bar import BarWindow
+from repro.sim import Engine, Resource, RngStreams
+from repro.ssd.device import BlockSSD
+from repro.ssd.profiles import DeviceProfile, TWOB_BASE
+
+# Host physical address the BIOS assigns to BAR1 in our memory map.
+BAR1_HOST_BASE = 0x9000_0000
+
+
+class TwoBSSD(BlockSSD):
+    """Dual byte- and block-addressable SSD (the paper's contribution)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        profile: DeviceProfile = TWOB_BASE,
+        ba_params: Optional[BaParams] = None,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        super().__init__(engine, profile, rng)
+        self.ba_params = ba_params or BaParams(page_size=profile.geometry.page_size)
+        if self.ba_params.page_size != profile.geometry.page_size:
+            raise ValueError(
+                f"BA page size {self.ba_params.page_size} must match device "
+                f"page size {profile.geometry.page_size}"
+            )
+        # BAR manager: BAR1 window, write-combining, ATU into the BA-buffer.
+        self.bar1 = BarWindow(
+            index=1,
+            host_base=BAR1_HOST_BASE,
+            size=self.ba_params.buffer_bytes,
+            device_base=0,
+            write_combining=True,
+        )
+        # The BA-buffer: the DRAM capacity reserved for the byte path.
+        self.ba_dram = ByteRegion("ba-buffer", self.ba_params.buffer_bytes)
+        self.mapping_table = BaMappingTable(
+            self.ba_params.buffer_bytes, self.ba_params.max_entries,
+            self.ba_params.page_size,
+        )
+        self.ba_manager = BaBufferManager(
+            engine, self, self.ba_dram, self.ba_params, self.mapping_table
+        )
+        self.read_dma = ReadDmaEngine(engine, self.ba_dram, self.ba_params)
+        self.recovery = RecoveryManager(self.ba_dram, self.mapping_table, self.ba_params)
+        self.lba_gate = LbaChecker(self.mapping_table)
+
+    # -- power behaviour -------------------------------------------------------
+
+    def power_loss(self) -> bool:
+        """Power failure: PLP destages the block cache (inherited) and the
+        recovery manager dumps the BA-buffer.  Returns dump success."""
+        super().power_loss()
+        saved = self.recovery.emergency_save()
+        # Whatever happens, DRAM itself is volatile: model the loss.
+        self.ba_dram.clear()
+        self.mapping_table.restore_snapshot([])
+        return saved
+
+    def power_on(self) -> bool:
+        """Power-up: restore the BA-buffer and mapping table if an
+        emergency image exists.  Returns True when an image was restored."""
+        return self.recovery.restore()
+
+    def halt(self) -> None:
+        """Fence off the byte-path engines along with the block path."""
+        super().halt()
+        self.ba_manager._firmware_core.retire()
+        self.read_dma._channel.retire()
+
+    def reboot(self) -> None:
+        """Restart firmware: block-path state plus the byte-path engines
+        (firmware core / DMA channel whose holders died with the crash)."""
+        super().reboot()
+        self.ba_manager._firmware_core = Resource(self.engine)
+        self.read_dma._channel = Resource(self.engine)

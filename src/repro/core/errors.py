@@ -1,0 +1,27 @@
+"""Error types of the 2B-SSD byte path."""
+
+
+class BaBufferError(Exception):
+    """Base class for BA-buffer management failures."""
+
+
+class PinConflictError(BaBufferError):
+    """BA_PIN rejected: overlap with an existing entry, table full, or
+    the requested buffer range does not fit."""
+
+
+class EntryNotFoundError(BaBufferError):
+    """An API referenced a mapping-table entry id that does not exist."""
+
+
+class GatedLbaError(Exception):
+    """Block I/O targeted NAND pages currently pinned to the BA-buffer.
+
+    The LBA checker (§III-A2) snoops every block request and gates those
+    that would race with the byte path.
+    """
+
+
+class RecoveryDataLossError(Exception):
+    """Power-loss backup could not complete within the capacitor budget;
+    BA-buffer contents were lost."""

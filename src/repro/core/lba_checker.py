@@ -1,0 +1,43 @@
+"""The LBA checker (§III-A2).
+
+A hardware snoop on the block-I/O path: every block write's LBA range is
+checked against the BA-buffer mapping table, and writes that would touch
+pinned NAND pages are gated.  This is what keeps the two independent
+datapaths from silently corrupting each other.
+
+Block *reads* of pinned ranges are permitted — they return the NAND state,
+which is stale until ``BA_FLUSH`` by design (the paper only gates
+"inadvertent data updates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import GatedLbaError
+from repro.core.mapping_table import BaMappingTable
+
+
+@dataclass
+class LbaCheckerStats:
+    checks: int = 0
+    gated: int = 0
+
+
+class LbaChecker:
+    """Gates block writes that overlap BA-pinned LBA ranges."""
+
+    def __init__(self, table: BaMappingTable) -> None:
+        self._table = table
+        self.stats = LbaCheckerStats()
+
+    def check_write(self, lpn: int, npages: int) -> None:
+        """Raise :class:`GatedLbaError` if the write overlaps a pinned range."""
+        self.stats.checks += 1
+        entry = self._table.pinned_lba_overlap(lpn, npages)
+        if entry is not None:
+            self.stats.gated += 1
+            raise GatedLbaError(
+                f"block write to pages [{lpn}, +{npages}) gated: LBA range pinned "
+                f"to BA-buffer by mapping entry {entry.entry_id}"
+            )

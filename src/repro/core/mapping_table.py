@@ -1,0 +1,121 @@
+"""The BA-buffer mapping table (§III-A2, Fig. 2).
+
+Each entry records ``(entry_id, start_offset, start_LBA, length)``: which
+BA-buffer bytes cache which NAND LBA range.  The table is the contract
+between the two datapaths — the LBA checker gates block I/O against it and
+the recovery manager persists it across power loss — so overlap invariants
+are enforced here, in both address spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import EntryNotFoundError, PinConflictError
+
+
+@dataclass(frozen=True)
+class BaMappingEntry:
+    """One pin: BA-buffer bytes ``[offset, offset+length)`` cache the NAND
+    pages ``[lba, lba + length/page_size)``."""
+
+    entry_id: int
+    offset: int
+    lba: int
+    length: int
+
+    def buffer_range(self) -> tuple[int, int]:
+        return self.offset, self.offset + self.length
+
+    def lba_range(self, page_size: int) -> tuple[int, int]:
+        pages = -(-self.length // page_size)
+        return self.lba, self.lba + pages
+
+
+class BaMappingTable:
+    """Fixed-capacity table of :class:`BaMappingEntry` (Table I: 8 entries)."""
+
+    def __init__(self, buffer_bytes: int, max_entries: int, page_size: int) -> None:
+        self.buffer_bytes = buffer_bytes
+        self.max_entries = max_entries
+        self.page_size = page_size
+        self._entries: dict[int, BaMappingEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: int) -> bool:
+        return entry_id in self._entries
+
+    def entries(self) -> list[BaMappingEntry]:
+        return list(self._entries.values())
+
+    def get(self, entry_id: int) -> BaMappingEntry:
+        entry = self._entries.get(entry_id)
+        if entry is None:
+            raise EntryNotFoundError(f"no mapping entry with id {entry_id}")
+        return entry
+
+    def add(self, entry_id: int, offset: int, lba: int, length: int) -> BaMappingEntry:
+        """Validate and insert a new pin; raises :class:`PinConflictError`."""
+        if length <= 0:
+            raise PinConflictError(f"pin length must be positive, got {length}")
+        if offset < 0 or offset % self.page_size:
+            raise PinConflictError(
+                f"pin offset {offset} must be page-aligned and non-negative"
+            )
+        if lba < 0:
+            raise PinConflictError(f"start LBA must be non-negative, got {lba}")
+        if offset + length > self.buffer_bytes:
+            raise PinConflictError(
+                f"pin [{offset}, +{length}) exceeds BA-buffer of {self.buffer_bytes} bytes"
+            )
+        if entry_id in self._entries:
+            raise PinConflictError(f"mapping entry {entry_id} already exists")
+        if len(self._entries) >= self.max_entries:
+            raise PinConflictError(
+                f"mapping table full ({self.max_entries} entries, Table I limit)"
+            )
+        candidate = BaMappingEntry(entry_id, offset, lba, length)
+        for existing in self._entries.values():
+            if self._ranges_overlap(candidate.buffer_range(), existing.buffer_range()):
+                raise PinConflictError(
+                    f"buffer range of entry {entry_id} overlaps entry {existing.entry_id}"
+                )
+            if self._ranges_overlap(
+                candidate.lba_range(self.page_size), existing.lba_range(self.page_size)
+            ):
+                raise PinConflictError(
+                    f"LBA range of entry {entry_id} overlaps entry {existing.entry_id}"
+                )
+        self._entries[entry_id] = candidate
+        return candidate
+
+    def remove(self, entry_id: int) -> BaMappingEntry:
+        entry = self.get(entry_id)
+        del self._entries[entry_id]
+        return entry
+
+    def pinned_lba_overlap(self, lpn: int, npages: int) -> BaMappingEntry | None:
+        """Return the entry whose LBA range overlaps ``[lpn, lpn+npages)``, if any."""
+        for entry in self._entries.values():
+            start, end = entry.lba_range(self.page_size)
+            if lpn < end and start < lpn + npages:
+                return entry
+        return None
+
+    # -- persistence (recovery manager) ---------------------------------------
+
+    def to_snapshot(self) -> list[tuple[int, int, int, int]]:
+        return [
+            (e.entry_id, e.offset, e.lba, e.length) for e in self._entries.values()
+        ]
+
+    def restore_snapshot(self, snapshot: list[tuple[int, int, int, int]]) -> None:
+        self._entries.clear()
+        for entry_id, offset, lba, length in snapshot:
+            self.add(entry_id, offset, lba, length)
+
+    @staticmethod
+    def _ranges_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+        return a[0] < b[1] and b[0] < a[1]

@@ -1,0 +1,79 @@
+"""Coordinated power-failure injection across the whole platform.
+
+A power loss hits every volatile staging point at once:
+
+* CPU write-combining buffers — un-flushed lines vanish;
+* the PCIe link — posted writes in flight never land;
+* each SSD — PLP destages the block write cache, and the 2B-SSD's
+  recovery manager dumps the BA-buffer within its capacitor budget.
+
+``power_on`` then brings devices back, restoring saved BA-buffer images.
+Durability tests drive crash/recovery through this controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.cpu import HostCPU
+from repro.pcie.link import PcieLink
+from repro.sim import Engine
+from repro.ssd.device import BlockSSD
+
+
+@dataclass
+class PowerLossReport:
+    """What a power failure destroyed and what was saved."""
+
+    wc_lines_lost: int = 0
+    device_dumps: dict = field(default_factory=dict)
+
+
+class PowerController:
+    """Owns the platform's power rails for fault-injection purposes."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._cpus: list[HostCPU] = []
+        self._links: list[PcieLink] = []
+        self._devices: list[BlockSSD] = []
+        self.outages = 0
+
+    def attach_cpu(self, cpu: HostCPU) -> HostCPU:
+        self._cpus.append(cpu)
+        return cpu
+
+    def attach_link(self, link: PcieLink) -> PcieLink:
+        self._links.append(link)
+        return link
+
+    def attach_device(self, device: BlockSSD) -> BlockSSD:
+        self._devices.append(device)
+        return device
+
+    def power_loss(self) -> PowerLossReport:
+        """Cut power: volatile state is lost, protected state is saved."""
+        report = PowerLossReport()
+        for cpu in self._cpus:
+            report.wc_lines_lost += cpu.power_loss()
+        for link in self._links:
+            link.power_loss()
+        for device in self._devices:
+            result = device.power_loss()
+            report.device_dumps[device.profile.name] = result
+        self.outages += 1
+        return report
+
+    def power_on(self) -> dict:
+        """Restore power; devices recover saved state where available."""
+        restored = {}
+        for device in self._devices:
+            power_on = getattr(device, "power_on", None)
+            restored[device.profile.name] = power_on() if power_on else None
+        return restored
+
+    def power_cycle(self) -> tuple[PowerLossReport, dict]:
+        """Convenience: loss immediately followed by restore."""
+        report = self.power_loss()
+        restored = self.power_on()
+        return report, restored

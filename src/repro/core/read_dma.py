@@ -1,0 +1,57 @@
+"""The read DMA engine (§III-A3).
+
+Plain MMIO reads of the BA-buffer are uncacheable 8-byte PCIe round trips
+(~150 us for 4 KiB); the read DMA engine instead streams buffer contents to
+a host-DRAM destination and raises a completion interrupt.  It is a shared
+device facility, modeled as a capacity-1 resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.mapping_table import BaMappingEntry
+from repro.core.params import BaParams
+from repro.host.memory import ByteRegion
+from repro.sim import Engine, Resource
+from repro.sim.engine import Event
+
+
+@dataclass
+class ReadDmaStats:
+    transfers: int = 0
+    bytes_copied: int = 0
+
+
+class ReadDmaEngine:
+    """Copies BA-buffer contents to a host-designated destination."""
+
+    def __init__(self, engine: Engine, dram: ByteRegion, params: BaParams) -> None:
+        self.engine = engine
+        self.dram = dram
+        self.params = params
+        self._channel = Resource(engine)
+        self.stats = ReadDmaStats()
+
+    def copy(self, entry: BaMappingEntry, dst: ByteRegion, dst_offset: int,
+             length: int) -> Iterator[Event]:
+        """Process: DMA up to ``length`` bytes of the entry's buffer contents
+        into ``dst`` (completion interrupt is charged by the API layer)."""
+        if length <= 0:
+            raise ValueError(f"DMA length must be positive, got {length}")
+        if length > entry.length:
+            raise ValueError(
+                f"DMA of {length} bytes exceeds entry {entry.entry_id} "
+                f"of {entry.length} bytes"
+            )
+        channel_req = self._channel.request()
+        yield channel_req
+        try:
+            yield self.engine.timeout(self.params.dma_latency(length))
+        finally:
+            self._channel.release(channel_req)
+        dst.write(dst_offset, self.dram.read(entry.offset, length))
+        self.stats.transfers += 1
+        self.stats.bytes_copied += length
+        return length

@@ -1,0 +1,20 @@
+"""Database engines for the case study (§IV-B).
+
+Three engines, mirroring the paper's ports:
+
+* :mod:`repro.db.relational` — a PostgreSQL-like relational engine with an
+  XLOG-style WAL (Linkbench workload, Figs. 9(a) and 10);
+* :mod:`repro.db.lsm` — a RocksDB-like LSM key-value store: memtables,
+  SSTables, leveled compaction, WAL per memtable (YCSB, Fig. 9(b));
+* :mod:`repro.db.memkv` — a Redis-like single-threaded in-memory store
+  with an append-only file (YCSB, Fig. 9(c)).
+
+Each engine takes any :class:`repro.wal.WriteAheadLog` backend, which is
+how the paper's BA-WAL port is expressed: swap ``BlockWAL`` for ``BaWAL``
+(fewer than 200 lines changed in the real systems; one constructor
+argument here).
+"""
+
+from repro.db.common import EngineStats
+
+__all__ = ["EngineStats"]

@@ -1,0 +1,38 @@
+"""Shared engine plumbing: statistics and CPU cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Operation counters and latency accounting for one engine instance."""
+
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    aborts: int = 0
+    total_latency: float = 0.0
+    commit_latency: float = 0.0
+    per_op: dict = field(default_factory=dict)
+
+    def record(self, op_name: str, latency: float, is_write: bool) -> None:
+        self.operations += 1
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.total_latency += latency
+        count, total = self.per_op.get(op_name, (0, 0.0))
+        self.per_op[op_name] = (count + 1, total + latency)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.operations if self.operations else 0.0
+
+    def throughput(self, elapsed_seconds: float) -> float:
+        """Operations per second of simulated time."""
+        if elapsed_seconds <= 0:
+            raise ValueError(f"elapsed time must be positive, got {elapsed_seconds}")
+        return self.operations / elapsed_seconds

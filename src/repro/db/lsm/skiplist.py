@@ -1,0 +1,111 @@
+"""A skiplist memtable (RocksDB's default memtable representation).
+
+Probabilistic balanced ordered map: expected O(log n) insert and lookup,
+in-order iteration for flushing to an SSTable.  Deletions are recorded by
+the tree as tombstone values (``None``); the skiplist itself only ever
+inserts/replaces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[str], value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[_Node]] = [None] * level
+
+
+class SkipList:
+    """Ordered string-keyed map with skiplist internals."""
+
+    MAX_LEVEL = 16
+    P = 0.5
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random(0)
+        self._head = _Node(None, None, self.MAX_LEVEL)
+        self._level = 1
+        self._count = 0
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Accumulated key+value bytes (the memtable-full trigger)."""
+        return self._bytes
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < self.MAX_LEVEL and self._rng.random() < self.P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: str) -> list[_Node]:
+        update = [self._head] * self.MAX_LEVEL
+        node = self._head
+        for level in reversed(range(self._level)):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+            update[level] = node
+        return update
+
+    def insert(self, key: str, value: Any) -> None:
+        """Insert or replace ``key``."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            self._bytes += self._value_bytes(value) - self._value_bytes(candidate.value)
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._count += 1
+        self._bytes += len(key.encode()) + self._value_bytes(value)
+
+    @staticmethod
+    def _value_bytes(value: Any) -> int:
+        return len(value) if isinstance(value, (bytes, bytearray)) else 8
+
+    def get(self, key: str, default: Any = None) -> Any:
+        node = self._head
+        for level in reversed(range(self._level)):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """Sorted iteration (the flush path)."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range_items(self, start: str, limit: int) -> list[tuple[str, Any]]:
+        """Up to ``limit`` items with key >= start, in order (scan support)."""
+        update = self._find_predecessors(start)
+        node = update[0].forward[0]
+        result = []
+        while node is not None and len(result) < limit:
+            result.append((node.key, node.value))
+            node = node.forward[0]
+        return result

@@ -1,0 +1,6 @@
+"""Redis-like in-memory key-value store with an append-only file (AOF)."""
+
+from repro.db.memkv.commands import Command, decode_command, encode_command
+from repro.db.memkv.store import MemKV
+
+__all__ = ["Command", "MemKV", "decode_command", "encode_command"]

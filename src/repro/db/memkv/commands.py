@@ -1,0 +1,40 @@
+"""AOF command wire format.
+
+Redis's AOF logs every write command it executes; replaying the file
+rebuilds the dataset.  We encode commands as
+``[op u8][key_len u16][key][value]`` — compact enough that the AOF record
+size tracks the payload size, which is what Fig. 9(c)'s payload sweep
+measures.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+_HEADER = struct.Struct("<BH")
+
+
+class Command(enum.Enum):
+    SET = 1
+    DEL = 2
+    APPEND = 3
+    INCR = 4
+
+
+def encode_command(command: Command, key: str, value: bytes = b"") -> bytes:
+    key_bytes = key.encode()
+    if len(key_bytes) > 0xFFFF:
+        raise ValueError(f"key too long: {len(key_bytes)} bytes")
+    return _HEADER.pack(command.value, len(key_bytes)) + key_bytes + value
+
+
+def decode_command(data: bytes) -> tuple[Command, str, bytes]:
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated AOF command")
+    op, key_len = _HEADER.unpack_from(data)
+    key_end = _HEADER.size + key_len
+    if key_end > len(data):
+        raise ValueError("truncated AOF key")
+    key = data[_HEADER.size:key_end].decode()
+    return Command(op), key, bytes(data[key_end:])

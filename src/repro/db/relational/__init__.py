@@ -1,0 +1,33 @@
+"""PostgreSQL-like relational engine with an XLOG-style WAL.
+
+The engine keeps tables in memory (the paper's Fig. 9 setup: "we assumed
+that all user data fits in DRAM, and only WAL logs are written to a log
+device"), makes every change durable through the WAL before a transaction
+commits, and recovers by checkpoint-load + redo replay of committed
+transactions — the shape of PostgreSQL's XLOG subsystem that BA-WAL
+replaces (§IV-B).
+"""
+
+from repro.db.relational.btree import BTree
+from repro.db.relational.checkpoint import (
+    CheckpointStore,
+    checkpoint_and_truncate,
+    recover_from_checkpoint,
+)
+from repro.db.relational.codec import pack_obj, unpack_obj
+from repro.db.relational.engine import RelationalEngine, Transaction, TransactionError
+from repro.db.relational.sql import SqlError, SqlSession
+
+__all__ = [
+    "BTree",
+    "CheckpointStore",
+    "checkpoint_and_truncate",
+    "recover_from_checkpoint",
+    "RelationalEngine",
+    "SqlError",
+    "SqlSession",
+    "Transaction",
+    "TransactionError",
+    "pack_obj",
+    "unpack_obj",
+]

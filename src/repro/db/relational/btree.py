@@ -1,0 +1,282 @@
+"""An in-memory B-tree index.
+
+Order-``t`` B-tree keyed by arbitrary comparable keys (the engine uses
+ints and tuples).  Supports insert/replace, delete, point lookup, and the
+ordered range scan LinkBench's ``get_link_list`` needs.
+
+Deletion uses the standard CLRS rebalancing (borrow from siblings, merge
+when both are minimal), and :meth:`check_invariants` verifies the node
+occupancy, ordering, and uniform-depth properties — hammered by the
+property tests in ``tests/test_relational_btree.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """Ordered key-value index."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError(f"min_degree must be >= 2, got {min_degree}")
+        self._t = min_degree
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._root
+        while True:
+            index = self._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.is_leaf:
+                return default
+            node = node.children[index]
+
+    @staticmethod
+    def _bisect(keys: list[Any], key: Any) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- insert ----------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace; returns True if the key was new."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        inserted = self._insert_nonfull(self._root, key, value)
+        if inserted:
+            self._count += 1
+        return inserted
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[:t - 1]
+        child.values = child.values[:t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> bool:
+        while True:
+            index = self._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return False
+            if node.is_leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                return True
+            if len(node.children[index].keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if node.keys[index] == key:
+                    node.values[index] = value
+                    return False
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # -- delete ----------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        removed = self._delete_from(self._root, key)
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        if removed:
+            self._count -= 1
+        return removed
+
+    def _delete_from(self, node: _Node, key: Any) -> bool:
+        t = self._t
+        index = self._bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.is_leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return True
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_value = self._max_entry(left)
+                node.keys[index], node.values[index] = pred_key, pred_value
+                return self._delete_from(left, pred_key)
+            if len(right.keys) >= t:
+                succ_key, succ_value = self._min_entry(right)
+                node.keys[index], node.values[index] = succ_key, succ_value
+                return self._delete_from(right, succ_key)
+            self._merge_children(node, index)
+            return self._delete_from(left, key)
+        if node.is_leaf:
+            return False
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._grow_child(node, index)
+            child = node.children[index]
+        return self._delete_from(child, key)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.is_leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.keys) and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.is_leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index < len(node.keys):
+            self._merge_children(node, index)
+            return index
+        self._merge_children(node, index - 1)
+        return index - 1
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        left = node.children[index]
+        right = node.children.pop(index + 1)
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+
+    @staticmethod
+    def _max_entry(node: _Node) -> tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    @staticmethod
+    def _min_entry(node: _Node) -> tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # -- iteration ---------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        yield from self._iterate(self._root)
+
+    def _iterate(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._iterate(node.children[index])
+            yield key, node.values[index]
+        yield from self._iterate(node.children[-1])
+
+    def range_scan(self, start: Any, limit: int,
+                   end: Optional[Any] = None) -> list[tuple[Any, Any]]:
+        """Up to ``limit`` entries with ``start <= key`` (``< end`` if given)."""
+        result: list[tuple[Any, Any]] = []
+        self._scan_into(self._root, start, end, limit, result)
+        return result
+
+    def _scan_into(self, node: _Node, start: Any, end: Optional[Any],
+                   limit: int, out: list) -> bool:
+        index = self._bisect(node.keys, start)
+        if node.is_leaf:
+            for i in range(index, len(node.keys)):
+                if end is not None and node.keys[i] >= end:
+                    return False
+                out.append((node.keys[i], node.values[i]))
+                if len(out) >= limit:
+                    return False
+            return True
+        for i in range(index, len(node.keys)):
+            if not self._scan_into(node.children[i], start, end, limit, out):
+                return False
+            if end is not None and node.keys[i] >= end:
+                return False
+            out.append((node.keys[i], node.values[i]))
+            if len(out) >= limit:
+                return False
+        return self._scan_into(node.children[-1], start, end, limit, out)
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert B-tree structural invariants (test helper)."""
+        depths: set[int] = set()
+        self._check_node(self._root, None, None, True, 0, depths)
+        if len(depths) > 1:
+            raise AssertionError(f"leaves at different depths: {depths}")
+        if self._count != sum(1 for _ in self.items()):
+            raise AssertionError("count does not match iteration")
+
+    def _check_node(self, node: _Node, lower: Any, upper: Any,
+                    is_root: bool, depth: int, depths: set[int]) -> None:
+        t = self._t
+        if not is_root and not (t - 1 <= len(node.keys) <= 2 * t - 1):
+            raise AssertionError(f"node occupancy {len(node.keys)} out of range")
+        if len(node.keys) > 2 * t - 1:
+            raise AssertionError("node overfull")
+        for a, b in zip(node.keys, node.keys[1:]):
+            if not a < b:
+                raise AssertionError(f"keys out of order: {a!r} !< {b!r}")
+        for key in node.keys:
+            if lower is not None and not lower < key:
+                raise AssertionError(f"key {key!r} violates lower bound {lower!r}")
+            if upper is not None and not key < upper:
+                raise AssertionError(f"key {key!r} violates upper bound {upper!r}")
+        if node.is_leaf:
+            depths.add(depth)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError("child count mismatch")
+        bounds = [lower, *node.keys, upper]
+        for index, child in enumerate(node.children):
+            self._check_node(child, bounds[index], bounds[index + 1],
+                             False, depth + 1, depths)

@@ -1,0 +1,33 @@
+"""An extent-based filesystem over the block SSD.
+
+The paper's software stack (Fig. 4) runs the 2B-SSD APIs *through the
+filesystem*: applications pin regions of ordinary files, and the database
+engines write their logs into segment files.  This package provides that
+layer: a small extent-based filesystem with
+
+* page-granular extent allocation with contiguous preallocation (what log
+  segments need so a whole segment is one pinnable LBA range);
+* ``fsync`` semantics — data reaches the device's power-protected cache,
+  metadata is written back synchronously;
+* crash recovery by re-mounting from the superblock + inode table;
+* the extent-resolution hook (:meth:`File.extent_for`) that lets
+  ``BA_PIN`` translate a file offset into the LBA range it covers, with a
+  permission check (§III-C: only applications with permission to the LBA
+  range may pin it).
+"""
+
+from repro.fs.filesystem import (
+    ExtentFileSystem,
+    File,
+    FileSystemError,
+    PermissionDenied,
+)
+from repro.fs.bafile import pin_file_region
+
+__all__ = [
+    "ExtentFileSystem",
+    "File",
+    "FileSystemError",
+    "PermissionDenied",
+    "pin_file_region",
+]

@@ -1,0 +1,13 @@
+"""Flash translation layer (FTL).
+
+A page-level mapping FTL in the style of production NVMe firmware, scoped to
+what the paper's experiments exercise: logical-page writes with out-of-place
+updates, greedy garbage collection over an overprovisioned block pool, and
+write-amplification accounting (the paper's §IV-A argues BA-WAL reduces WAF
+by eliminating repeated log-page rewrites).
+"""
+
+from repro.ftl.mapping import MappingTable
+from repro.ftl.pagemap import FtlCapacityError, FtlStats, PageMapFTL
+
+__all__ = ["FtlCapacityError", "FtlStats", "MappingTable", "PageMapFTL"]

@@ -1,0 +1,349 @@
+"""Page-level FTL with out-of-place writes and greedy garbage collection.
+
+Logical space is exposed as 4 KiB logical pages (the paper's LBA unit:
+"one or multiple 4 KB pages", §III-C).  Host writes always go to fresh
+physical pages; the previous physical page becomes stale and is reclaimed
+by greedy GC (victim = fewest valid pages).  Relocations during GC count
+toward write amplification:
+
+    WAF = (host page programs + GC page programs) / host page programs
+
+which is the quantity §IV-A argues BA-WAL improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim import Engine, Resource, Store
+from repro.sim.engine import Event
+from repro.nand.array import FlashArray
+from repro.ftl.mapping import MappingTable
+
+
+class FtlCapacityError(Exception):
+    """Raised when the logical space is exhausted or GC cannot reclaim."""
+
+
+@dataclass
+class FtlStats:
+    """Write-amplification accounting."""
+
+    host_pages_written: int = 0
+    gc_pages_written: int = 0
+    gc_runs: int = 0
+    background_gc_runs: int = 0
+    foreground_gc_stalls: int = 0
+    pages_scrubbed: int = 0
+    blocks_erased: int = 0
+
+    @property
+    def waf(self) -> float:
+        if self.host_pages_written == 0:
+            return 1.0
+        return (self.host_pages_written + self.gc_pages_written) / self.host_pages_written
+
+
+class _DieAllocator:
+    """Per-die block pool: one active block plus a FIFO of free blocks."""
+
+    def __init__(self, channel: int, die: int, blocks: list[int]) -> None:
+        self.channel = channel
+        self.die = die
+        self.free_blocks = list(blocks)
+        self.active_block: Optional[int] = None
+        self.next_page = 0
+
+    def has_space(self, pages_per_block: int) -> bool:
+        if self.active_block is not None and self.next_page < pages_per_block:
+            return True
+        return bool(self.free_blocks)
+
+
+class PageMapFTL:
+    """The translation layer mapping logical pages onto a :class:`FlashArray`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        flash: FlashArray,
+        overprovision: float = 0.20,
+    ) -> None:
+        if not 0.05 <= overprovision < 0.9:
+            raise ValueError(f"overprovision must be in [0.05, 0.9), got {overprovision}")
+        self.engine = engine
+        self.flash = flash
+        geometry = flash.geometry
+        self.page_size = geometry.page_size
+        self.logical_pages = int(geometry.pages * (1.0 - overprovision))
+        self.map = MappingTable()
+        self.stats = FtlStats()
+        self._valid: dict[tuple[int, int, int], set[int]] = {}
+        self._full_blocks: list[tuple[int, int, int]] = []
+        self._dies: list[_DieAllocator] = []
+        for channel in range(geometry.channels):
+            for die in range(geometry.dies_per_channel):
+                self._dies.append(
+                    _DieAllocator(channel, die, list(range(geometry.blocks_per_die)))
+                )
+        self._next_die = 0
+        self._gc_lock = Resource(engine)
+        self._gc_low_watermark = max(2, len(self._dies))
+        self._gc_high_watermark = self._gc_low_watermark + len(self._dies)
+        # Background GC starts reclaiming before the foreground watermark
+        # is hit, so host writes rarely stall on inline collection.
+        self._bg_watermark = self._gc_high_watermark + len(self._dies)
+        self._bg_signal = Store(engine)
+        self._bg_kicked = False
+        self._generation = 0
+        engine.process(self._background_gc_loop(), name="ftl-background-gc")
+
+    def reboot(self) -> None:
+        """Rebuild transient state after a crash.
+
+        Allocation pointers re-sync to the NAND blocks' actual write
+        pointers (pages that were allocated but never programmed before
+        the crash are skipped, as real firmware does on power-up), and
+        the GC lock is recreated (its holder died with the event queue).
+        """
+        self._generation += 1
+        self._gc_lock.retire()
+        self._gc_lock = Resource(self.engine)
+        self._bg_signal = Store(self.engine)
+        self._bg_kicked = False
+        self.engine.process(self._background_gc_loop(), name="ftl-background-gc")
+        for die in self._dies:
+            if die.active_block is not None:
+                state = self.flash._block_state(die.channel, die.die, die.active_block)
+                # NAND programs strictly at its write pointer; allocated-
+                # but-never-programmed pages are simply reused.
+                die.next_page = state.write_pointer
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def total_free_blocks(self) -> int:
+        return sum(len(die.free_blocks) for die in self._dies)
+
+    def peek(self, lpn: int) -> bytes:
+        """Read logical page contents without timing (assertion helper)."""
+        ppn = self.map.lookup(lpn)
+        if ppn is None:
+            return bytes(self.page_size)
+        return self.flash.peek(ppn)
+
+    def check_consistency(self) -> None:
+        """Assert map and valid-set invariants (used by property tests)."""
+        self.map.check_consistency()
+        counted = sum(len(pages) for pages in self._valid.values())
+        if counted != len(self.map):
+            raise AssertionError(
+                f"valid-page count {counted} != mapped logical pages {len(self.map)}"
+            )
+
+    # -- allocation ------------------------------------------------------------
+
+    def _allocate_page(self) -> int:
+        """Pick the next physical page, striping round-robin across dies."""
+        geometry = self.flash.geometry
+        for _ in range(len(self._dies)):
+            die = self._dies[self._next_die]
+            self._next_die = (self._next_die + 1) % len(self._dies)
+            if die.active_block is not None and die.next_page >= geometry.pages_per_block:
+                self._full_blocks.append((die.channel, die.die, die.active_block))
+                die.active_block = None
+            if die.active_block is None:
+                if not die.free_blocks:
+                    continue
+                die.active_block = die.free_blocks.pop(0)
+                die.next_page = 0
+            page = die.next_page
+            die.next_page += 1
+            return geometry.ppn(die.channel, die.die, die.active_block, page)
+        raise FtlCapacityError("no free physical pages; GC failed to keep up")
+
+    def _invalidate(self, ppn: int) -> None:
+        channel, die, block, page = self.flash.geometry.decompose(ppn)
+        pages = self._valid.get((channel, die, block))
+        if pages is not None:
+            pages.discard(page)
+
+    def _mark_valid(self, ppn: int) -> None:
+        channel, die, block, page = self.flash.geometry.decompose(ppn)
+        self._valid.setdefault((channel, die, block), set()).add(page)
+
+    # -- host operations ---------------------------------------------------------
+
+    def write(self, lpn: int, data: bytes) -> Iterator[Event]:
+        """Process: write one logical page out-of-place.
+
+        Background GC is nudged as the pool shrinks; only when it falls
+        behind (below the low watermark) does the write stall on inline
+        foreground collection.
+        """
+        self._check_lpn(lpn)
+        if len(data) > self.page_size:
+            raise ValueError(f"page write of {len(data)} bytes exceeds {self.page_size}")
+        free = self.total_free_blocks
+        if free < self._bg_watermark:
+            self._kick_background_gc()
+        if free < self._gc_low_watermark:
+            self.stats.foreground_gc_stalls += 1
+            yield self.engine.process(self._collect_garbage())
+        ppn = self._allocate_page()
+        yield self.engine.process(self.flash.program_page(ppn, data))
+        previous = self.map.bind(lpn, ppn)
+        self._mark_valid(ppn)
+        if previous is not None:
+            self._invalidate(previous)
+        self.stats.host_pages_written += 1
+
+    def read(self, lpn: int) -> Iterator[Event]:
+        """Process: read one logical page; unmapped pages return zeros instantly.
+
+        If GC relocates the page mid-read (the mapping changed while the
+        media access was in flight), the read retries against the new
+        location, mirroring the read-retry path of production firmware.
+        """
+        self._check_lpn(lpn)
+        for _attempt in range(4):
+            ppn = self.map.lookup(lpn)
+            if ppn is None:
+                return bytes(self.page_size)
+            data = yield self.engine.process(self.flash.read_page(ppn))
+            if self.map.lookup(lpn) == ppn:
+                return data
+        raise FtlCapacityError(f"read of logical page {lpn} kept racing with GC")
+
+    def trim(self, lpn: int) -> None:
+        """Drop the mapping for ``lpn``; its physical page becomes stale."""
+        self._check_lpn(lpn)
+        ppn = self.map.unbind(lpn)
+        if ppn is not None:
+            self._invalidate(ppn)
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"logical page {lpn} out of range [0, {self.logical_pages})")
+
+    def scrub(self, retry_threshold: int = 1) -> Iterator[Event]:
+        """Process: media patrol — relocate pages whose reads already need
+        ``retry_threshold`` or more ECC read retries, before they decay to
+        uncorrectable.  Returns the number of pages relocated.
+
+        Production firmware runs this during idle time; tests and
+        maintenance windows invoke it directly.
+        """
+        from repro.nand.ecc import UncorrectableError, raw_bit_errors, retries_needed
+
+        relocated = 0
+        for ppn in list(self.map.live_pages()):
+            lpn = self.map.reverse_lookup(ppn)
+            if lpn is None:
+                continue  # moved under us
+            channel, die, block, _page = self.flash.geometry.decompose(ppn)
+            erases = self.flash.erase_count(channel, die, block)
+            errors = raw_bit_errors(self.flash.ecc, ppn, erases,
+                                    self.flash.timing.endurance_cycles,
+                                    self.flash._ecc_seed)
+            try:
+                retries = retries_needed(self.flash.ecc, errors)
+            except UncorrectableError:
+                retries = self.flash.ecc.max_read_retries + 1
+            if retries < retry_threshold:
+                continue
+            data = self.flash.peek(ppn)  # rescue copy (pre-UECC snapshot)
+            yield self.engine.process(self.write(lpn, data))
+            relocated += 1
+        self.stats.pages_scrubbed += relocated
+        return relocated
+
+    # -- garbage collection ---------------------------------------------------------
+
+    def _pick_victim(self) -> Optional[tuple[int, tuple[int, int, int]]]:
+        """Greedy victim selection with a wear-aware tiebreak: among
+        blocks with the fewest valid pages, prefer the least-worn one so
+        hot blocks don't absorb all the erases."""
+        best: Optional[tuple[int, int, tuple[int, int, int]]] = None
+        for key in self._full_blocks:
+            valid_count = len(self._valid.get(key, ()))
+            erases = self.flash.erase_count(*key)
+            candidate = (valid_count, erases, key)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is None:
+            return None
+        self._full_blocks.remove(best[2])
+        return best[0], best[2]
+
+    def _kick_background_gc(self) -> None:
+        if not self._bg_kicked:
+            self._bg_kicked = True
+            self._bg_signal.put(True)
+
+    def _background_gc_loop(self) -> Iterator[Event]:
+        """Process: reclaim blocks opportunistically, one victim at a time,
+        whenever the free pool dips below the background watermark."""
+        generation = self._generation
+        while True:
+            yield self._bg_signal.get()
+            if generation != self._generation:
+                return  # a crash/reboot replaced this loop
+            self._bg_kicked = False
+            while self.total_free_blocks < self._bg_watermark:
+                lock = self._gc_lock.request()
+                yield lock
+                try:
+                    if generation != self._generation:
+                        return
+                    victim = self._pick_victim()
+                    if victim is None:
+                        break
+                    yield self.engine.process(self._relocate_block(victim[1]))
+                    self.stats.background_gc_runs += 1
+                finally:
+                    self._gc_lock.release(lock)
+
+    def _collect_garbage(self) -> Iterator[Event]:
+        """Process: greedy GC until the free pool reaches the high watermark."""
+        lock_req = self._gc_lock.request()
+        yield lock_req
+        try:
+            while self.total_free_blocks < self._gc_high_watermark:
+                victim = self._pick_victim()
+                if victim is None:
+                    if self.total_free_blocks == 0:
+                        raise FtlCapacityError("GC found no reclaimable blocks")
+                    break
+                _valid_count, key = victim
+                yield self.engine.process(self._relocate_block(key))
+                self.stats.gc_runs += 1
+        finally:
+            self._gc_lock.release(lock_req)
+
+    def _relocate_block(self, key: tuple[int, int, int]) -> Iterator[Event]:
+        channel, die, block = key
+        geometry = self.flash.geometry
+        pages = sorted(self._valid.get(key, set()))
+        for page in pages:
+            old_ppn = geometry.ppn(channel, die, block, page)
+            lpn = self.map.reverse_lookup(old_ppn)
+            if lpn is None:
+                continue  # invalidated while GC was running
+            data = yield self.engine.process(self.flash.read_page(old_ppn))
+            new_ppn = self._allocate_page()
+            yield self.engine.process(self.flash.program_page(new_ppn, data))
+            # Re-check: the host may have overwritten this LPN mid-relocation.
+            if self.map.lookup(lpn) == old_ppn:
+                self.map.bind(lpn, new_ppn)
+                self._mark_valid(new_ppn)
+                self._invalidate(old_ppn)
+            else:
+                self._invalidate(new_ppn)
+        yield self.engine.process(self.flash.erase_block(channel, die, block))
+        self._valid.pop(key, None)
+        owner = self._dies[channel * geometry.dies_per_channel + die]
+        owner.free_blocks.append(block)
+        self.stats.blocks_erased += 1
+        self.stats.gc_pages_written += len(pages)

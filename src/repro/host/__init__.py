@@ -1,0 +1,25 @@
+"""Host-side models: CPU store path, write-combining buffer, memories.
+
+The paper's byte path starts at the CPU: stores to the BAR1 window go
+through the x86 write-combining (WC) buffer (§III-A1), are flushed with
+``clflush`` + ``mfence``, and become durable only after the write-verify
+read (§III-B).  This package models that store path functionally (bytes
+really move, un-flushed lines really get lost on power failure) and with
+calibrated costs.
+
+It also provides host DRAM (DMA destinations) and an emulated persistent
+memory region used by the heterogeneous-memory comparison (Fig. 10).
+"""
+
+from repro.host.cpu import HostCPU
+from repro.host.memory import ByteRegion, PersistentMemoryRegion
+from repro.host.params import HostParams
+from repro.host.wc import WriteCombiningBuffer
+
+__all__ = [
+    "ByteRegion",
+    "HostCPU",
+    "HostParams",
+    "PersistentMemoryRegion",
+    "WriteCombiningBuffer",
+]

@@ -1,0 +1,55 @@
+"""Byte-addressable memory regions.
+
+:class:`ByteRegion` is the basic data container: a named bytearray used for
+host DRAM buffers and for the device-internal DRAM that BAR1 exposes.
+
+:class:`PersistentMemoryRegion` marks a region that survives power loss
+(an emulated NVDIMM for the Fig. 10 comparison, or the capacitor-backed
+BA-buffer once the recovery manager has saved it).
+"""
+
+from __future__ import annotations
+
+
+class ByteRegion:
+    """A named, bounds-checked byte store."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        self.name = name
+        self.size = size
+        self._data = bytearray(size)
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise ValueError(
+                f"access [{offset}, +{nbytes}) outside region {self.name!r} of {self.size} bytes"
+            )
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self._data[offset:offset + len(data)] = data
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        return bytes(self._data[offset:offset + nbytes])
+
+    def snapshot(self) -> bytes:
+        return bytes(self._data)
+
+    def restore(self, image: bytes) -> None:
+        if len(image) != self.size:
+            raise ValueError(
+                f"restore image of {len(image)} bytes does not match region size {self.size}"
+            )
+        self._data[:] = image
+
+    def clear(self) -> None:
+        self._data[:] = bytes(self.size)
+
+
+class PersistentMemoryRegion(ByteRegion):
+    """A region whose contents survive power loss (emulated PM / NVDIMM)."""
+
+    persistent = True

@@ -1,0 +1,156 @@
+"""The CPU write-combining buffer.
+
+Stores to a WC-mapped BAR window do not go to the device immediately: they
+are staged in a small set of 64-byte line buffers and reach the PCIe link
+only when a line is evicted (buffer overflow) or explicitly flushed with
+``clflush`` + ``mfence`` (§III-B).  Until then the bytes exist *only* in
+the CPU — a power failure loses them.  This class models that staging
+functionally: un-flushed spans really are absent from device memory, and
+``power_loss()`` really discards them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.host.memory import ByteRegion
+from repro.pcie.link import PcieLink
+
+
+@dataclass
+class _Line:
+    """Staged contents of one WC line: data plus a dirty-byte mask."""
+
+    data: bytearray
+    mask: bytearray
+
+    def spans(self) -> list[tuple[int, bytes]]:
+        """Contiguous dirty spans as ``(offset_in_line, bytes)`` pairs."""
+        result: list[tuple[int, bytes]] = []
+        start = None
+        for index in range(len(self.mask) + 1):
+            dirty = index < len(self.mask) and self.mask[index]
+            if dirty and start is None:
+                start = index
+            elif not dirty and start is not None:
+                result.append((start, bytes(self.data[start:index])))
+                start = None
+        return result
+
+
+@dataclass
+class WcStats:
+    lines_staged: int = 0
+    lines_evicted: int = 0
+    lines_flushed: int = 0
+    lines_lost_to_power_failure: int = 0
+    spans: dict = field(default_factory=dict)
+
+
+class WriteCombiningBuffer:
+    """A FIFO pool of WC lines targeting one or more MMIO regions."""
+
+    def __init__(self, link: PcieLink, max_lines: int) -> None:
+        if max_lines < 1:
+            raise ValueError(f"max_lines must be >= 1, got {max_lines}")
+        self.link = link
+        self.line_size = link.params.wc_line_bytes
+        self.max_lines = max_lines
+        # key: (region, line_index) -> _Line, in staging (FIFO) order.
+        self._lines: OrderedDict[tuple[ByteRegion, int], _Line] = OrderedDict()
+        self.stats = WcStats()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    # -- staging --------------------------------------------------------------
+
+    def store(self, region: ByteRegion, offset: int, data: bytes) -> tuple[int, int]:
+        """Stage ``data`` at ``region[offset:]``; returns ``(touched, evicted)``.
+
+        Overflowing the line pool evicts the oldest line to the link; the
+        issuing store stalls briefly while the line drains (the caller
+        charges :attr:`HostParams.wc_evict_stall` per eviction), and the
+        evicted bytes are lost if power fails before they land.
+        """
+        if not data:
+            return 0, 0
+        region._check(offset, len(data))
+        touched = 0
+        evicted = 0
+        position = 0
+        while position < len(data):
+            absolute = offset + position
+            line_index = absolute // self.line_size
+            within = absolute % self.line_size
+            chunk = min(len(data) - position, self.line_size - within)
+            key = (region, line_index)
+            line = self._lines.get(key)
+            if line is None:
+                evicted += self._maybe_evict_for_space()
+                line = _Line(bytearray(self.line_size), bytearray(self.line_size))
+                self._lines[key] = line
+                self.stats.lines_staged += 1
+            line.data[within:within + chunk] = data[position:position + chunk]
+            line.mask[within:within + chunk] = b"\x01" * chunk
+            touched += 1
+            position += chunk
+        return touched, evicted
+
+    def _maybe_evict_for_space(self) -> int:
+        evicted = 0
+        while len(self._lines) >= self.max_lines:
+            key, line = self._lines.popitem(last=False)
+            self._post_line(key, line)
+            self.stats.lines_evicted += 1
+            evicted += 1
+        return evicted
+
+    def _post_line(self, key: tuple[ByteRegion, int], line: _Line) -> None:
+        region, line_index = key
+        base = line_index * self.line_size
+        for within, payload in line.spans():
+            target_offset = base + within
+            chunk = bytes(payload)
+            self.link.posted_write(
+                len(chunk),
+                deposit=lambda off=target_offset, data=chunk, reg=region: reg.write(off, data),
+            )
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush(self, region: ByteRegion | None = None,
+              offset: int = 0, nbytes: int | None = None) -> int:
+        """clflush semantics: post all (or matching) staged lines; returns count."""
+        if region is None:
+            selected = list(self._lines)
+        else:
+            if nbytes is None:
+                selected = [key for key in self._lines if key[0] is region]
+            else:
+                first = offset // self.line_size
+                last = (offset + max(nbytes, 1) - 1) // self.line_size
+                selected = [
+                    key for key in self._lines
+                    if key[0] is region and first <= key[1] <= last
+                ]
+        for key in selected:
+            line = self._lines.pop(key)
+            self._post_line(key, line)
+        self.stats.lines_flushed += len(selected)
+        return len(selected)
+
+    def dirty_lines(self, region: ByteRegion | None = None) -> int:
+        if region is None:
+            return len(self._lines)
+        return sum(1 for key in self._lines if key[0] is region)
+
+    # -- failure -------------------------------------------------------------------
+
+    def power_loss(self) -> int:
+        """Drop every staged line (the data never reached the device)."""
+        lost = len(self._lines)
+        self._lines.clear()
+        self.stats.lines_lost_to_power_failure += lost
+        return lost

@@ -1,0 +1,27 @@
+"""Functional NAND flash array simulator.
+
+Models the storage medium underneath every SSD profile in the reproduction:
+dies grouped under channels, blocks of sequentially-programmable pages,
+program/read/erase timing, wear (erase counts), and the NAND protocol
+invariants (erase-before-program, in-order page programming within a block).
+
+Data is actually stored, so FTL garbage collection, BA-buffer pinning and
+crash-recovery tests are end-to-end rather than latency-only.
+"""
+
+from repro.nand.array import FlashArray, NandProtocolError, PageAddress
+from repro.nand.ecc import EccConfig, UncorrectableError
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming, SLC_ZNAND, TLC_VNAND
+
+__all__ = [
+    "EccConfig",
+    "FlashArray",
+    "NandGeometry",
+    "NandProtocolError",
+    "NandTiming",
+    "PageAddress",
+    "SLC_ZNAND",
+    "TLC_VNAND",
+    "UncorrectableError",
+]

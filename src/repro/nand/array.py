@@ -1,0 +1,256 @@
+"""Functional flash array with timing, wear, and protocol enforcement.
+
+The array stores page contents sparsely (only programmed pages occupy
+memory).  Channels and dies are modeled as simulation resources so that
+concurrent operations contend realistically: a die can run one operation at
+a time, and a channel is occupied for the data-transfer portion of an
+operation while the die continues the cell operation.
+
+Protocol invariants enforced (violations raise :class:`NandProtocolError`):
+
+* a page must be erased before it is programmed;
+* pages within a block must be programmed in order (NAND constraint);
+* erase operates on whole blocks;
+* a block whose erase count exceeds the medium's endurance is worn out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.sim import Engine, Resource, RngStreams
+from repro.sim.engine import Event
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming
+
+
+class NandProtocolError(Exception):
+    """Raised when an operation violates NAND programming rules."""
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """Structured physical page coordinates."""
+
+    channel: int
+    die: int
+    block: int
+    page: int
+
+
+@dataclass
+class _BlockState:
+    """Per-block bookkeeping: write pointer, erase count, liveness."""
+
+    write_pointer: int = 0
+    erase_count: int = 0
+    programmed: set[int] = field(default_factory=set)
+
+
+@dataclass
+class FlashStats:
+    """Operation counters for WAF / wear reporting."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    read_retries: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+        self.read_retries = 0
+
+
+class FlashArray:
+    """A timing-accurate, data-bearing NAND flash array."""
+
+    # Channel transfer: ONFI-class bus, ~800 MB/s per channel.
+    CHANNEL_BYTES_PER_SEC = 800e6
+
+    def __init__(
+        self,
+        engine: Engine,
+        geometry: Optional[NandGeometry] = None,
+        timing: Optional[NandTiming] = None,
+        rng: Optional[RngStreams] = None,
+        ecc: Optional["EccConfig"] = None,
+    ) -> None:
+        from repro.nand.ecc import EccConfig
+        from repro.nand.timing import SLC_ZNAND
+
+        self.engine = engine
+        self.geometry = geometry or NandGeometry()
+        self.timing = timing or SLC_ZNAND
+        self.ecc = ecc or EccConfig()
+        self._ecc_seed = (rng or RngStreams(0)).stream("ecc-seed").getrandbits(32)
+        self._rng = (rng or RngStreams(0)).stream("nand")
+        self._data: dict[int, bytes] = {}
+        self._blocks: dict[tuple[int, int, int], _BlockState] = {}
+        self._channels = [Resource(engine) for _ in range(self.geometry.channels)]
+        self._dies = [
+            Resource(engine)
+            for _ in range(self.geometry.channels * self.geometry.dies_per_channel)
+        ]
+        self.stats = FlashStats()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _block_state(self, channel: int, die: int, block: int) -> _BlockState:
+        key = (channel, die, block)
+        if key not in self._blocks:
+            self._blocks[key] = _BlockState()
+        return self._blocks[key]
+
+    def _die_resource(self, channel: int, die: int) -> Resource:
+        return self._dies[channel * self.geometry.dies_per_channel + die]
+
+    def reboot(self) -> None:
+        """Reset transient controller state after a crash (bus/die arbiters
+        whose holders died with the purged event queue)."""
+        for resource in self._channels + self._dies:
+            resource.retire()
+        self._channels = [Resource(self.engine) for _ in range(self.geometry.channels)]
+        self._dies = [
+            Resource(self.engine)
+            for _ in range(self.geometry.channels * self.geometry.dies_per_channel)
+        ]
+
+    def address(self, ppn: int) -> PageAddress:
+        return PageAddress(*self.geometry.decompose(ppn))
+
+    def wear_summary(self) -> dict[str, float]:
+        """Erase-count distribution across all blocks (lifetime reporting)."""
+        counts = [
+            self._block_state(channel, die, block).erase_count
+            for channel in range(self.geometry.channels)
+            for die in range(self.geometry.dies_per_channel)
+            for block in range(self.geometry.blocks_per_die)
+        ]
+        return {
+            "min": float(min(counts)),
+            "max": float(max(counts)),
+            "mean": sum(counts) / len(counts),
+            "total": float(sum(counts)),
+        }
+
+    def erase_count(self, channel: int, die: int, block: int) -> int:
+        return self._block_state(channel, die, block).erase_count
+
+    def is_programmed(self, ppn: int) -> bool:
+        addr = self.address(ppn)
+        return addr.page in self._block_state(addr.channel, addr.die, addr.block).programmed
+
+    def peek(self, ppn: int) -> bytes:
+        """Read page contents without timing (for assertions and recovery dumps)."""
+        if ppn not in self._data:
+            return bytes(self.geometry.page_size)
+        return self._data[ppn]
+
+    def _transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.CHANNEL_BYTES_PER_SEC
+
+    # -- timed operations (simulation processes) ------------------------------
+
+    def read_page(self, ppn: int) -> Iterator[Event]:
+        """Process: read one page; returns its contents (zeros if never written).
+
+        Reads of worn pages can need ECC read retries (one extra tR each);
+        pages beyond the retry budget raise
+        :class:`~repro.nand.ecc.UncorrectableError`.
+        """
+        from repro.nand.ecc import raw_bit_errors, retries_needed
+
+        addr = self.address(ppn)
+        state = self._block_state(addr.channel, addr.die, addr.block)
+        retries = 0
+        if addr.page in state.programmed:
+            errors = raw_bit_errors(self.ecc, ppn, state.erase_count,
+                                    self.timing.endurance_cycles, self._ecc_seed)
+            retries = retries_needed(self.ecc, errors)  # may raise UECC
+        die_res = self._die_resource(addr.channel, addr.die)
+        die_req = die_res.request()
+        yield die_req
+        try:
+            for _sense in range(1 + retries):
+                yield self.engine.timeout(self.timing.sample_read(self._rng))
+            channel_res = self._channels[addr.channel]
+            chan_req = channel_res.request()
+            yield chan_req
+            try:
+                yield self.engine.timeout(self._transfer_time(self.geometry.page_size))
+            finally:
+                channel_res.release(chan_req)
+        finally:
+            die_res.release(die_req)
+        self.stats.page_reads += 1
+        self.stats.read_retries += retries
+        return self.peek(ppn)
+
+    def program_page(self, ppn: int, data: bytes) -> Iterator[Event]:
+        """Process: program one page with ``data`` (must be <= page_size)."""
+        if len(data) > self.geometry.page_size:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds page size {self.geometry.page_size}"
+            )
+        addr = self.address(ppn)
+        state = self._block_state(addr.channel, addr.die, addr.block)
+        die_res = self._die_resource(addr.channel, addr.die)
+        die_req = die_res.request()
+        yield die_req
+        try:
+            # Protocol checks run once the die is held, i.e. after every
+            # earlier operation on this die has completed, so concurrent
+            # in-order submissions are not misdiagnosed as out-of-order.
+            if addr.page in state.programmed:
+                raise NandProtocolError(
+                    f"page {ppn} already programmed since last erase (erase-before-program)"
+                )
+            if addr.page != state.write_pointer:
+                raise NandProtocolError(
+                    f"out-of-order program in block ({addr.channel},{addr.die},{addr.block}): "
+                    f"page {addr.page} programmed while write pointer is {state.write_pointer}"
+                )
+            channel_res = self._channels[addr.channel]
+            chan_req = channel_res.request()
+            yield chan_req
+            try:
+                yield self.engine.timeout(self._transfer_time(len(data)))
+            finally:
+                channel_res.release(chan_req)
+            yield self.engine.timeout(self.timing.sample_program(self._rng))
+        finally:
+            die_res.release(die_req)
+        padded = data if len(data) == self.geometry.page_size else (
+            data + bytes(self.geometry.page_size - len(data))
+        )
+        self._data[ppn] = bytes(padded)
+        state.programmed.add(addr.page)
+        state.write_pointer = addr.page + 1
+        self.stats.page_programs += 1
+
+    def erase_block(self, channel: int, die: int, block: int) -> Iterator[Event]:
+        """Process: erase a whole block, resetting its write pointer."""
+        self.geometry.validate_address(channel, die, block, 0)
+        state = self._block_state(channel, die, block)
+        if state.erase_count >= self.timing.endurance_cycles:
+            raise NandProtocolError(
+                f"block ({channel},{die},{block}) worn out after "
+                f"{state.erase_count} erase cycles"
+            )
+        die_res = self._die_resource(channel, die)
+        die_req = die_res.request()
+        yield die_req
+        try:
+            yield self.engine.timeout(self.timing.sample_erase(self._rng))
+        finally:
+            die_res.release(die_req)
+        base = self.geometry.ppn(channel, die, block, 0)
+        for page in state.programmed:
+            self._data.pop(base + page, None)
+        state.programmed.clear()
+        state.write_pointer = 0
+        state.erase_count += 1
+        self.stats.block_erases += 1

@@ -1,0 +1,78 @@
+"""ECC and read-retry: the NAND reliability model.
+
+Flash cells accumulate raw bit errors with wear; controllers correct them
+with per-page ECC and, when a read exceeds the correction capability,
+fall back to *read retries* at shifted sense voltages (each retry costs a
+full tR).  Pages whose error count exceeds the retry budget are
+uncorrectable (UECC) — the failure the FTL surfaces upward.
+
+The model is deterministic-per-(page, erase-count) so simulations stay
+reproducible: the raw bit-error count for a read is drawn from a seeded
+stream keyed by the physical page and the block's wear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Correction strength and the raw-bit-error-rate (RBER) wear curve."""
+
+    # Correctable bit errors per page (BCH/LDPC strength).
+    correctable_bits: int = 40
+    # RBER model: errors-per-page = base + slope * (erase_count / endurance).
+    base_errors: float = 2.0
+    wear_slope: float = 60.0
+    # Each retry shifts the read voltage and re-senses: one extra tR.
+    max_read_retries: int = 3
+    # Every retry recovers sense margin worth this many bits.
+    retry_gain_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.correctable_bits < 1:
+            raise ValueError("ECC must correct at least one bit")
+        if self.max_read_retries < 0:
+            raise ValueError("retry budget must be non-negative")
+
+
+class UncorrectableError(Exception):
+    """Raised when a page's raw errors exceed ECC + retry capability."""
+
+
+def raw_bit_errors(config: EccConfig, ppn: int, erase_count: int,
+                   endurance: int, seed: int = 0) -> int:
+    """Deterministic raw bit-error count for one read of ``ppn``.
+
+    Poisson-ish sampling via a hash of (seed, ppn, erase_count): the same
+    page at the same wear always reads with the same error count, so test
+    runs are reproducible while wear still degrades pages realistically.
+    """
+    wear_fraction = min(1.0, erase_count / max(endurance, 1))
+    expected = config.base_errors + config.wear_slope * wear_fraction
+    digest = hashlib.blake2b(
+        f"{seed}:{ppn}:{erase_count}".encode(), digest_size=8
+    ).digest()
+    # Uniform in [0, 2): errors fluctuate around the wear-driven mean.
+    jitter = int.from_bytes(digest, "little") / 2 ** 63
+    return int(expected * jitter)
+
+
+def retries_needed(config: EccConfig, errors: int) -> int:
+    """How many read retries a read with ``errors`` raw bit errors takes.
+
+    Returns 0 for a clean first read; raises :class:`UncorrectableError`
+    when even the full retry budget cannot bring the page within the
+    correction strength.
+    """
+    if errors <= config.correctable_bits:
+        return 0
+    for retry in range(1, config.max_read_retries + 1):
+        if errors - retry * config.retry_gain_bits <= config.correctable_bits:
+            return retry
+    raise UncorrectableError(
+        f"{errors} raw bit errors exceed ECC strength "
+        f"{config.correctable_bits} + {config.max_read_retries} retries"
+    )

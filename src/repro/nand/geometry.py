@@ -1,0 +1,80 @@
+"""NAND array geometry: channels, dies, blocks, pages.
+
+The flat *physical page number* (PPN) space enumerates pages as
+``channel -> die -> block -> page`` nested dimensions; helpers convert
+between flat PPNs and structured :class:`PageAddress` coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Static shape of a flash array.
+
+    Defaults give a small array (512 MiB) that keeps unit tests fast;
+    device profiles override them.
+    """
+
+    channels: int = 8
+    dies_per_channel: int = 1
+    blocks_per_die: int = 64
+    pages_per_block: int = 256
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for field_name in ("channels", "dies_per_channel", "blocks_per_die",
+                           "pages_per_block", "page_size"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+
+    @property
+    def dies(self) -> int:
+        return self.channels * self.dies_per_channel
+
+    @property
+    def blocks(self) -> int:
+        return self.dies * self.blocks_per_die
+
+    @property
+    def pages(self) -> int:
+        return self.blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.pages * self.page_size
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.blocks_per_die * self.pages_per_block
+
+    def validate_address(self, channel: int, die: int, block: int, page: int) -> None:
+        if not 0 <= channel < self.channels:
+            raise ValueError(f"channel {channel} out of range [0, {self.channels})")
+        if not 0 <= die < self.dies_per_channel:
+            raise ValueError(f"die {die} out of range [0, {self.dies_per_channel})")
+        if not 0 <= block < self.blocks_per_die:
+            raise ValueError(f"block {block} out of range [0, {self.blocks_per_die})")
+        if not 0 <= page < self.pages_per_block:
+            raise ValueError(f"page {page} out of range [0, {self.pages_per_block})")
+
+    def ppn(self, channel: int, die: int, block: int, page: int) -> int:
+        """Flatten structured coordinates into a physical page number."""
+        self.validate_address(channel, die, block, page)
+        die_index = channel * self.dies_per_channel + die
+        return (die_index * self.blocks_per_die + block) * self.pages_per_block + page
+
+    def decompose(self, ppn: int) -> tuple[int, int, int, int]:
+        """Split a flat PPN back into ``(channel, die, block, page)``."""
+        if not 0 <= ppn < self.pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self.pages})")
+        page = ppn % self.pages_per_block
+        block_index = ppn // self.pages_per_block
+        block = block_index % self.blocks_per_die
+        die_index = block_index // self.blocks_per_die
+        die = die_index % self.dies_per_channel
+        channel = die_index // self.dies_per_channel
+        return channel, die, block, page

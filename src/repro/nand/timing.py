@@ -1,0 +1,71 @@
+"""NAND operation timing profiles.
+
+Two media profiles matter for the paper's device line-up:
+
+* ``SLC_ZNAND`` — single-bit Z-NAND, the medium of both the ULL-SSD
+  (Samsung Z-SSD [27]) and the 2B-SSD prototype (Table I: "Single-bit NAND
+  flash"; [58] reports a 3 us read time).
+* ``TLC_VNAND`` — triple-level-cell V-NAND, the medium of the
+  datacenter-class DC-SSD (Samsung PM963 [49]).
+
+Latencies carry a small multiplicative jitter so queueing behaviour is not
+artificially lock-stepped; the jitter is deterministic per RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.units import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Raw operation latencies of one NAND medium, in seconds."""
+
+    name: str
+    read_latency: float
+    program_latency: float
+    erase_latency: float
+    jitter_fraction: float = 0.02
+    endurance_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        if min(self.read_latency, self.program_latency, self.erase_latency) <= 0:
+            raise ValueError("NAND operation latencies must be positive")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError(f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}")
+        if self.endurance_cycles < 1:
+            raise ValueError("endurance_cycles must be >= 1")
+
+    def _jittered(self, base: float, rng: random.Random | None) -> float:
+        if rng is None or self.jitter_fraction == 0:
+            return base
+        return base * (1.0 + rng.uniform(-self.jitter_fraction, self.jitter_fraction))
+
+    def sample_read(self, rng: random.Random | None = None) -> float:
+        return self._jittered(self.read_latency, rng)
+
+    def sample_program(self, rng: random.Random | None = None) -> float:
+        return self._jittered(self.program_latency, rng)
+
+    def sample_erase(self, rng: random.Random | None = None) -> float:
+        return self._jittered(self.erase_latency, rng)
+
+
+SLC_ZNAND = NandTiming(
+    name="slc-znand",
+    read_latency=3 * USEC,
+    program_latency=100 * USEC,
+    erase_latency=1 * MSEC,
+    endurance_cycles=100_000,
+)
+
+TLC_VNAND = NandTiming(
+    name="tlc-vnand",
+    read_latency=60 * USEC,
+    program_latency=700 * USEC,
+    erase_latency=3.5 * MSEC,
+    endurance_cycles=5_000,
+)

@@ -1,0 +1,81 @@
+"""Platform observability: one call collects every layer's counters.
+
+``collect_stats(platform)`` walks the platform and returns a nested,
+JSON-serializable dict — host store path, PCIe transactions, per-device
+block I/O, FTL/WAF, NAND operations and wear, BA-buffer activity,
+recovery events.  The soak tests and examples use it for post-run
+inspection; it is also handy in a REPL to see where bytes actually went.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.platform import Platform
+from repro.ssd.device import BlockSSD
+
+
+def _as_dict(obj: Any) -> dict:
+    if dataclasses.is_dataclass(obj):
+        return {
+            f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)
+            if isinstance(getattr(obj, f.name), (int, float, str, bool))
+        }
+    return {}
+
+
+def device_stats(device: BlockSSD) -> dict:
+    """Counters for one block device (and its byte path, if it has one)."""
+    stats: dict[str, Any] = {
+        "block_io": _as_dict(device.stats),
+        "cache": {
+            "dirty_pages": device.dirty_cache_pages,
+            "capacity_pages": device._cache_capacity_pages,
+        },
+        "ftl": {
+            **_as_dict(device.ftl.stats),
+            "waf": device.ftl.stats.waf,
+            "free_blocks": device.ftl.total_free_blocks,
+            "mapped_pages": len(device.ftl.map),
+        },
+        "nand": {
+            **_as_dict(device.flash.stats),
+            "wear": device.flash.wear_summary(),
+        },
+    }
+    ba_manager = getattr(device, "ba_manager", None)
+    if ba_manager is not None:
+        stats["ba_buffer"] = _as_dict(ba_manager.stats)
+        stats["ba_buffer"]["pinned_entries"] = len(device.mapping_table)
+        stats["lba_checker"] = _as_dict(device.lba_gate.stats)
+        stats["read_dma"] = _as_dict(device.read_dma.stats)
+        stats["recovery"] = _as_dict(device.recovery.stats)
+    return stats
+
+
+def collect_stats(platform: Platform) -> dict:
+    """The full platform picture, keyed by subsystem."""
+    report: dict[str, Any] = {
+        "simulated_seconds": platform.engine.now,
+        "host": {
+            "wc_buffer": _as_dict(platform.cpu.wc.stats),
+        },
+        "pcie": {
+            "posted_writes": platform.link.posted_writes_issued,
+            "posted_writes_lost": platform.link.posted_writes_lost,
+            "read_tlps": platform.link.read_tlps_issued,
+        },
+        "power": {"outages": platform.power.outages},
+        "devices": {},
+    }
+    for device in platform.power._devices:
+        name = device.profile.name
+        key = name
+        suffix = 2
+        while key in report["devices"]:
+            key = f"{name}#{suffix}"
+            suffix += 1
+        report["devices"][key] = device_stats(device)
+    return report

@@ -1,0 +1,18 @@
+"""PCIe interconnect model.
+
+Models the transaction-level behaviour the paper's byte path depends on
+(§II-B, §III-B):
+
+* **posted writes** — fire-and-forget memory writes that land in device
+  memory after a propagation delay; the CPU does not wait;
+* **non-posted reads** — round-trip transactions; uncacheable MMIO reads
+  are split into 8-byte TLPs (the source of 2B-SSD's slow memory reads);
+* **root-complex ordering** — reads are sequentialized behind earlier
+  posted writes, which is what makes the paper's *write-verify read*
+  (a zero-byte read) a durability barrier.
+"""
+
+from repro.pcie.link import PcieLink, PcieParams
+from repro.pcie.bar import BarWindow
+
+__all__ = ["BarWindow", "PcieLink", "PcieParams"]

@@ -1,0 +1,54 @@
+"""Base address register (BAR) windows and the address translation unit.
+
+A PCIe device advertises memory windows via BARs (§II-B).  2B-SSD adds a
+second window, BAR1, whose accesses the BAR manager's ATU redirects into
+the SSD-internal DRAM (§III-A1).  :class:`BarWindow` models one window:
+a host-visible address range plus an inbound translation to an offset in
+a device-internal memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class BarAccessError(Exception):
+    """Raised for accesses outside a BAR window's advertised range."""
+
+
+@dataclass(frozen=True)
+class BarWindow:
+    """One BAR: host address window translated into device memory.
+
+    ``host_base`` is the system-memory-map address the BIOS/OS assigned;
+    ``size`` the advertised window length; ``device_base`` the offset in the
+    device-internal memory that window maps to (the ATU's inbound window).
+    """
+
+    index: int
+    host_base: int
+    size: int
+    device_base: int = 0
+    write_combining: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 6:
+            raise ValueError(f"PCI devices have up to six BARs, got index {self.index}")
+        if self.size <= 0:
+            raise ValueError(f"BAR size must be positive, got {self.size}")
+        if self.host_base < 0 or self.device_base < 0:
+            raise ValueError("BAR addresses must be non-negative")
+
+    def contains(self, host_address: int) -> bool:
+        return self.host_base <= host_address < self.host_base + self.size
+
+    def translate(self, host_address: int, nbytes: int = 1) -> int:
+        """ATU inbound translation: host address -> device memory offset."""
+        if nbytes < 0:
+            raise ValueError(f"access size must be >= 0, got {nbytes}")
+        if not self.contains(host_address) or host_address + nbytes > self.host_base + self.size:
+            raise BarAccessError(
+                f"access [{host_address:#x}, +{nbytes}) outside BAR{self.index} window "
+                f"[{self.host_base:#x}, +{self.size:#x})"
+            )
+        return self.device_base + (host_address - self.host_base)

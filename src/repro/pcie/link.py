@@ -1,0 +1,132 @@
+"""Transaction-level PCIe link with root-complex ordering.
+
+The link tracks when the downstream path is next free (TLPs serialize on
+the wire) and the landing time of the most recent posted write.  Posted
+writes return immediately to the issuer and *land* — i.e. deposit their
+payload in device memory — after wire occupancy plus propagation.
+Non-posted reads wait for every earlier posted write to land (PCIe
+producer/consumer ordering at the root complex) before their round trip
+begins, which is exactly the mechanism the paper's write-verify read
+exploits for durability (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.sim import Engine
+from repro.sim.engine import Event
+from repro.sim.units import NSEC
+
+
+@dataclass(frozen=True)
+class PcieParams:
+    """Link constants for PCIe Gen3 x4 (the paper's host interface, Table I)."""
+
+    # Effective payload bandwidth; Gen3 x4 ~3.938 GB/s raw, ~3.2 GB/s effective.
+    bandwidth_bytes_per_sec: float = 3.2e9
+    # Per-TLP wire/header overhead.
+    tlp_overhead: float = 8 * NSEC
+    # One-way propagation through switch fabric to device memory.
+    propagation: float = 100 * NSEC
+    # Latency of one uncacheable (split, max 8-byte) read TLP round trip.
+    # Calibrated so a 4 KiB MMIO read costs ~150 us (Fig. 7(a)): 512 * 293 ns.
+    mmio_read_tlp_latency: float = 293 * NSEC
+    # Uncacheable reads are split into at most this many bytes per TLP ([48]).
+    read_split_bytes: int = 8
+    # Write-combining buffer line size (x86 WC buffer, [47]).
+    wc_line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.read_split_bytes < 1 or self.wc_line_bytes < 1:
+            raise ValueError("split sizes must be >= 1")
+
+
+class PcieLink:
+    """One host-to-device link: posted writes down, split reads up."""
+
+    def __init__(self, engine: Engine, params: Optional[PcieParams] = None) -> None:
+        self.engine = engine
+        self.params = params or PcieParams()
+        self._down_free_at = 0.0
+        self._last_posted_landing = 0.0
+        self._epoch = 0
+        self.posted_writes_issued = 0
+        self.read_tlps_issued = 0
+        self.posted_writes_lost = 0
+
+    # -- posted writes ------------------------------------------------------
+
+    def posted_write(self, nbytes: int, deposit: Optional[Callable[[], None]] = None) -> float:
+        """Issue a posted write; returns the landing time (caller does not wait).
+
+        ``deposit`` runs at landing time — that is when the payload becomes
+        part of device memory (and hence durable if the device memory is
+        power-protected).  A power failure before landing loses the write,
+        which is why the durability protocol ends with a write-verify read.
+        """
+        if nbytes < 0:
+            raise ValueError(f"posted write size must be >= 0, got {nbytes}")
+        params = self.params
+        start = max(self.engine.now, self._down_free_at)
+        occupancy = params.tlp_overhead + nbytes / params.bandwidth_bytes_per_sec
+        self._down_free_at = start + occupancy
+        landing = self._down_free_at + params.propagation
+        self._last_posted_landing = max(self._last_posted_landing, landing)
+        self.posted_writes_issued += 1
+        if deposit is not None:
+            epoch = self._epoch
+            event = Event(self.engine)
+            event._triggered = True
+            self.engine._schedule(event, delay=landing - self.engine.now)
+
+            def land(_ev: Event) -> None:
+                if self._epoch == epoch:
+                    deposit()
+                else:
+                    self.posted_writes_lost += 1
+
+            event.callbacks.append(land)
+        return landing
+
+    def power_loss(self) -> None:
+        """Discard in-flight posted writes: they never reach device memory."""
+        self._epoch += 1
+        self._last_posted_landing = self.engine.now
+        self._down_free_at = self.engine.now
+
+    @property
+    def pending_posted_until(self) -> float:
+        """Simulation time by which all posted writes issued so far have landed."""
+        return self._last_posted_landing
+
+    # -- non-posted reads ---------------------------------------------------
+
+    def non_posted_read(self, nbytes: int) -> Iterator[Event]:
+        """Process: a read transaction of up to ``read_split_bytes`` bytes.
+
+        Ordering: completes no earlier than the landing of every posted
+        write issued before it.  A zero-byte read is the paper's
+        write-verify read: pure ordering, minimal cost.
+        """
+        if nbytes < 0 or nbytes > self.params.read_split_bytes:
+            raise ValueError(
+                f"read TLP carries 0..{self.params.read_split_bytes} bytes, got {nbytes}"
+            )
+        barrier = self._last_posted_landing
+        if barrier > self.engine.now:
+            yield self.engine.timeout(barrier - self.engine.now)
+        if nbytes > 0:
+            yield self.engine.timeout(self.params.mmio_read_tlp_latency)
+            self.read_tlps_issued += 1
+        return None
+
+    def mmio_read_latency(self, nbytes: int) -> float:
+        """Pure-latency helper: cost of an uncacheable MMIO read of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"read size must be >= 0, got {nbytes}")
+        tlps = -(-nbytes // self.params.read_split_bytes)
+        return tlps * self.params.mmio_read_tlp_latency

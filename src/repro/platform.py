@@ -1,0 +1,42 @@
+"""One-call platform assembly: host + PCIe + devices + power rails.
+
+The examples, benchmarks, and integration tests all need the same wiring:
+a simulation engine, a host CPU behind a PCIe link, a 2B-SSD with its API
+client, optional plain block SSDs for comparison, and a power controller
+for fault injection.  :class:`Platform` packages that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import BaParams, PowerController, TwoBApiClient, TwoBSSD
+from repro.host import HostCPU
+from repro.pcie import PcieLink
+from repro.sim import Engine, RngStreams
+from repro.ssd import BlockSSD, DeviceProfile, ULL_SSD
+
+
+class Platform:
+    """A simulated server with one 2B-SSD and any number of block SSDs."""
+
+    def __init__(self, ba_params: Optional[BaParams] = None, seed: int = 0) -> None:
+        self.engine = Engine()
+        self.rng = RngStreams(seed)
+        self.link = PcieLink(self.engine)
+        self.cpu = HostCPU(self.engine, self.link)
+        self.device = TwoBSSD(self.engine, ba_params=ba_params,
+                              rng=self.rng.fork("2b-ssd"))
+        self.api = TwoBApiClient(self.engine, self.cpu, self.device)
+        self.power = PowerController(self.engine)
+        self.power.attach_cpu(self.cpu)
+        self.power.attach_link(self.link)
+        self.power.attach_device(self.device)
+
+    def add_block_ssd(self, profile: DeviceProfile = ULL_SSD,
+                      name: str = "") -> BlockSSD:
+        """Attach another NVMe SSD (e.g. the DC-SSD or ULL-SSD comparator)."""
+        device = BlockSSD(self.engine, profile,
+                          self.rng.fork(name or f"ssd-{profile.name}"))
+        self.power.attach_device(device)
+        return device

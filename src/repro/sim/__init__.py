@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+Every timed component of the reproduction (CPU, PCIe link, SSD controller,
+NAND array, database engines) runs on this kernel.  It is a compact,
+dependency-free process-based simulator in the style of SimPy: processes are
+Python generators that ``yield`` events (timeouts, resource requests, other
+processes) and are resumed when those events fire.
+
+Simulated time is a float in **seconds**.  Helper constants for common time
+units live in :mod:`repro.sim.units`.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngStreams
+from repro.sim.units import GiB, KiB, MiB, MSEC, NSEC, SEC, USEC
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "GiB",
+    "KiB",
+    "MiB",
+    "MSEC",
+    "NSEC",
+    "SEC",
+    "USEC",
+]

@@ -1,0 +1,338 @@
+"""Process-based discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(time, sequence, event)`` triples.
+Processes are generators; each ``yield`` hands the engine an :class:`Event`
+to wait on.  When the event fires, the process resumes with the event's
+value (or the event's exception is thrown into it).
+
+The design deliberately mirrors SimPy's core, trimmed to what this
+reproduction needs: timeouts, composite events (:class:`AllOf` /
+:class:`AnyOf`), and process-as-event composition.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. re-triggering an event)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled to fire, value/exception fixed), and *processed* (callbacks
+    have run).  Waiting on an already-processed event resumes the waiter
+    immediately, which makes events safe to share between processes.
+    """
+
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "_failure_observed",
+    )
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self._failure_observed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if not self._processed:
+            raise SimulationError("event value read before the event was processed")
+        if self._exception is not None:
+            self._failure_observed = True
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value`` at the current simulation time."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        engine._schedule(self, delay=delay)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process returns.
+
+    The process's return value becomes the event value, and an uncaught
+    exception inside the process fails the event (propagating to any waiter,
+    or to :meth:`Engine.run` if nobody waits).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
+        if not isinstance(generator, Generator):
+            raise TypeError(
+                f"Process requires a generator (a function using 'yield'), got {generator!r}"
+            )
+        super().__init__(engine)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(engine)
+        bootstrap.succeed()
+        bootstrap.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._exception is not None:
+                trigger._failure_observed = True
+                target = self._generator.throw(trigger._exception)
+            else:
+                target = self._generator.send(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - failure propagates via the event
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as inner:  # noqa: BLE001
+                self.fail(inner)
+            return
+
+        self._waiting_on = target
+        if target._processed:
+            # The event already fired; resume on the next scheduler step.
+            if target._exception is not None:
+                target._failure_observed = True
+            immediate = Event(self.engine)
+            immediate._value = target._value
+            immediate._exception = target._exception
+            immediate._triggered = True
+            self.engine._schedule(immediate, delay=0.0)
+            immediate.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Composite(Event):
+    """Base for AllOf/AnyOf: waits on a fixed set of child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: list[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        for event in self.events:
+            if not isinstance(event, Event):
+                raise TypeError(f"composite events require Event children, got {event!r}")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event._processed:
+                self._child_fired(event)
+            else:
+                event.callbacks.append(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Fires when every child event has fired; value is the list of child values."""
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            event._failure_observed = True
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self.events])
+
+
+class AnyOf(_Composite):
+    """Fires when the first child event fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            event._failure_observed = True
+            self.fail(event._exception)
+            return
+        self.succeed(event._value)
+
+
+class Engine:
+    """The event loop: owns simulated time and the pending-event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._failed_events: list[Event] = []
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh, untriggered event for manual triggering."""
+        return Event(self)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start ``generator`` as a process; returns the process (an event)."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past; kernel invariant broken")
+        self.now = when
+        event._mark_processed()
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and not event._failure_observed:
+            # Remember failures nobody has seen yet; run() raises them at the
+            # end unless a waiter observes them in the meantime.
+            self._failed_events.append(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or ``until`` event fires.
+
+        When ``until`` is an event, its value is returned (and its exception
+        re-raised).  Failures of events that no process ever observes are
+        raised at the end of the run rather than silently dropped.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation queue drained before the awaited event fired (deadlock)"
+                    )
+                self.step()
+            return target.value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self.now = max(self.now, deadline)
+        self.raise_unobserved_failures()
+        return None
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: start ``generator`` and run until it completes."""
+        return self.run(until=self.process(generator, name=name))
+
+    def purge(self) -> int:
+        """Drop every scheduled event (crash semantics: in-flight work dies).
+
+        Used by the fault-injection harness after a power loss: whatever
+        the host and devices were doing simply never completes.  Returns
+        the number of events discarded.
+        """
+        discarded = len(self._queue)
+        self._queue.clear()
+        self._failed_events.clear()
+        return discarded
+
+    def raise_unobserved_failures(self) -> None:
+        """Raise the first event failure that no waiter ever observed."""
+        for event in self._failed_events:
+            if not event._failure_observed:
+                self._failed_events = []
+                assert event._exception is not None
+                raise event._exception
+        self._failed_events = []

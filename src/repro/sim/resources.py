@@ -1,0 +1,125 @@
+"""Shared-resource primitives for the simulation kernel.
+
+:class:`Resource` models a capacity-limited server (a NAND channel, a DMA
+engine, the single firmware core that runs the BA-buffer logic).  Processes
+``yield resource.request()`` and must call :meth:`Resource.release` when
+done; the :meth:`Resource.acquire` helper wraps the request/work/release
+pattern for the common case.
+
+:class:`Store` is an unbounded FIFO of items with blocking ``get``; it backs
+submission queues and the background-flusher work queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, engine: Engine, resource: "Resource") -> None:
+        super().__init__(engine)
+        self.resource = resource
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Request] = deque()
+        self._retired = False
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Return an event that fires once a slot is granted to the caller."""
+        req = Request(self.engine, self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def retire(self) -> None:
+        """Mark this resource dead (crash/reboot replaced it).
+
+        Releases of requests granted by a retired resource are silently
+        ignored — their holders died with the crash; cleanup code running
+        during garbage collection must not corrupt the replacement.
+        """
+        self._retired = True
+
+    def release(self, request: Request) -> None:
+        """Release the slot held by ``request`` and wake the next waiter."""
+        if request.resource._retired or self._retired:
+            return
+        if request.resource is not self:
+            raise SimulationError("release() called with a request from another resource")
+        if not request.triggered:
+            # The request never got a slot; cancel it instead.
+            self._waiting.remove(request)
+            return
+        if self._in_use <= 0:
+            raise SimulationError("release() called more times than slots were granted")
+        if self._waiting:
+            successor = self._waiting.popleft()
+            successor.succeed()
+        else:
+            self._in_use -= 1
+
+    def acquire(self, work: Iterator[Event]) -> Iterator[Event]:
+        """Run generator ``work`` while holding one slot (request/release wrapper)."""
+        req = self.request()
+        yield req
+        try:
+            result = yield self.engine.process(work)
+        finally:
+            self.release(req)
+        return result
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking retrieval."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Insert ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item once available."""
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,33 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component (NAND latency jitter, workload key choice,
+zipfian sampling) draws from its own named substream so that adding a new
+consumer never perturbs the draws seen by existing ones.  Substream seeds
+are derived by hashing ``(root_seed, name)`` with SHA-256, which is stable
+across processes and Python versions (unlike ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """A factory of independent :class:`random.Random` substreams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the substream for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.root_seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngStreams":
+        """Return a child factory whose streams are independent of this one's."""
+        digest = hashlib.sha256(f"{self.root_seed}:fork:{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))

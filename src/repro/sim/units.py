@@ -1,0 +1,21 @@
+"""Time and size unit constants.
+
+Simulated time is expressed in seconds; sizes in bytes.  These constants keep
+device-profile definitions readable (``12 * USEC``, ``8 * MiB``).
+"""
+
+SEC = 1.0
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def bytes_per_sec(size_bytes: int, seconds: float) -> float:
+    """Return throughput in bytes/second for ``size_bytes`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return size_bytes / seconds

@@ -1,0 +1,33 @@
+"""NVMe block SSD model: device profiles and the block-I/O datapath.
+
+Three device profiles reproduce the paper's evaluation line-up (§V-A):
+
+* ``DC_SSD``  — datacenter-class TLC NVMe SSD (Samsung PM963 [49]);
+* ``ULL_SSD`` — ultra-low-latency Z-NAND SSD (Samsung Z-SSD [27]);
+* 2B-SSD piggybacks on the ULL-SSD hardware (its block path is identical,
+  which is why the paper omits separate 2B block results).
+
+Host-visible command latencies follow calibrated end-to-end models (the
+numbers of Fig. 7), while data is functionally persisted through a write
+cache, the FTL, and the NAND array — so flush semantics, WAF, and
+crash-recovery behaviour are real.
+"""
+
+from repro.ssd.controller import ControllerError, NvmeController
+from repro.ssd.device import BlockSSD
+from repro.ssd.nvme import CompletionMode, NvmeCommand, NvmeOpcode, NvmeQueuePair
+from repro.ssd.profiles import DC_SSD, DeviceProfile, ULL_SSD, TWOB_BASE
+
+__all__ = [
+    "BlockSSD",
+    "ControllerError",
+    "NvmeController",
+    "CompletionMode",
+    "DC_SSD",
+    "DeviceProfile",
+    "NvmeCommand",
+    "NvmeOpcode",
+    "NvmeQueuePair",
+    "TWOB_BASE",
+    "ULL_SSD",
+]

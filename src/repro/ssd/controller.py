@@ -1,0 +1,159 @@
+"""The NVMe controller front end: BAR0 registers and doorbells.
+
+§II-B: "registers to control and operate an NVMe SSD are defined on the
+BAR0 address range".  This module models that control plane:
+
+* a BAR0 window holding the controller registers (CAP/CC/CSTS) and the
+  per-queue submission doorbells at their spec offsets
+  (``0x1000 + 2 * qid * stride``);
+* an admin path that creates/deletes I/O queue pairs;
+* doorbell writes as posted MMIO through the host's WC-bypass path (UC
+  registers: one posted write per doorbell, no combining).
+
+The data path stays in :class:`~repro.ssd.nvme.NvmeQueuePair`; the
+controller owns queue lifecycle and the register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pcie.bar import BarAccessError, BarWindow
+from repro.sim import Engine
+from repro.ssd.device import BlockSSD
+from repro.ssd.nvme import CompletionMode, NvmeQueuePair
+
+# Standard NVMe register offsets within BAR0.
+REG_CAP = 0x00      # controller capabilities (RO)
+REG_CC = 0x14       # controller configuration
+REG_CSTS = 0x1C     # controller status
+DOORBELL_BASE = 0x1000
+DOORBELL_STRIDE = 8  # 2^(2 + CAP.DSTRD), DSTRD=1
+
+CC_ENABLE = 0x1
+CSTS_READY = 0x1
+
+BAR0_HOST_BASE = 0x8000_0000
+BAR0_SIZE = 0x4000
+
+
+class ControllerError(Exception):
+    """Raised for protocol misuse: disabled controller, bad queue ids."""
+
+
+@dataclass
+class ControllerStats:
+    register_reads: int = 0
+    register_writes: int = 0
+    doorbell_rings: int = 0
+    queues_created: int = 0
+
+
+class NvmeController:
+    """One controller instance bound to a block device."""
+
+    MAX_QUEUES = 16
+
+    def __init__(self, engine: Engine, device: BlockSSD) -> None:
+        self.engine = engine
+        self.device = device
+        self.bar0 = BarWindow(index=0, host_base=BAR0_HOST_BASE,
+                              size=BAR0_SIZE, write_combining=False)
+        self._registers: dict[int, int] = {
+            REG_CAP: (1 << 37) | (self.MAX_QUEUES - 1),  # DSTRD=1, MQES
+            REG_CC: 0,
+            REG_CSTS: 0,
+        }
+        self._queues: dict[int, NvmeQueuePair] = {}
+        self.stats = ControllerStats()
+
+    # -- register file -------------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        self.bar0.translate(BAR0_HOST_BASE + offset, 4)
+        self.stats.register_reads += 1
+        if offset in self._registers:
+            return self._registers[offset]
+        raise ControllerError(f"read of undefined register {offset:#x}")
+
+    def write_register(self, offset: int, value: int) -> None:
+        self.bar0.translate(BAR0_HOST_BASE + offset, 4)
+        self.stats.register_writes += 1
+        if offset == REG_CC:
+            self._registers[REG_CC] = value
+            if value & CC_ENABLE:
+                self._registers[REG_CSTS] |= CSTS_READY
+            else:
+                # Controller reset: queues are torn down.
+                self._registers[REG_CSTS] &= ~CSTS_READY
+                self._queues.clear()
+            return
+        if offset == REG_CSTS or offset == REG_CAP:
+            raise ControllerError(f"register {offset:#x} is read-only")
+        if offset >= DOORBELL_BASE:
+            self._ring_doorbell(offset)
+            return
+        raise ControllerError(f"write to undefined register {offset:#x}")
+
+    @property
+    def ready(self) -> bool:
+        return bool(self._registers[REG_CSTS] & CSTS_READY)
+
+    def enable(self) -> None:
+        """The driver's bring-up: set CC.EN, observe CSTS.RDY."""
+        self.write_register(REG_CC, CC_ENABLE)
+        if not self.ready:
+            raise ControllerError("controller failed to become ready")
+
+    # -- queue lifecycle ------------------------------------------------------------
+
+    def doorbell_offset(self, qid: int) -> int:
+        """BAR0 offset of queue ``qid``'s submission doorbell (spec layout)."""
+        return DOORBELL_BASE + 2 * qid * DOORBELL_STRIDE
+
+    def create_queue_pair(
+        self,
+        qid: int,
+        depth: int = 32,
+        completion_mode: CompletionMode = CompletionMode.INTERRUPT,
+    ) -> NvmeQueuePair:
+        """Admin: create I/O queue pair ``qid`` (1-based; 0 is the admin queue)."""
+        if not self.ready:
+            raise ControllerError("controller not enabled (CC.EN=0)")
+        if not 1 <= qid < self.MAX_QUEUES:
+            raise ControllerError(
+                f"queue id {qid} out of range [1, {self.MAX_QUEUES})")
+        if qid in self._queues:
+            raise ControllerError(f"queue {qid} already exists")
+        queue = NvmeQueuePair(self.engine, self.device, depth=depth,
+                              completion_mode=completion_mode)
+        self._queues[qid] = queue
+        self.stats.queues_created += 1
+        return queue
+
+    def delete_queue_pair(self, qid: int) -> None:
+        if qid not in self._queues:
+            raise ControllerError(f"no queue {qid}")
+        del self._queues[qid]
+
+    def queue(self, qid: int) -> NvmeQueuePair:
+        queue = self._queues.get(qid)
+        if queue is None:
+            raise ControllerError(f"no queue {qid}")
+        return queue
+
+    @property
+    def queue_ids(self) -> list[int]:
+        return sorted(self._queues)
+
+    # -- doorbells -------------------------------------------------------------------
+
+    def _ring_doorbell(self, offset: int) -> None:
+        relative = offset - DOORBELL_BASE
+        if relative % (2 * DOORBELL_STRIDE):
+            raise ControllerError(f"misaligned doorbell write at {offset:#x}")
+        qid = relative // (2 * DOORBELL_STRIDE)
+        if qid != 0 and qid not in self._queues:
+            raise ControllerError(f"doorbell for nonexistent queue {qid}")
+        self.stats.doorbell_rings += 1

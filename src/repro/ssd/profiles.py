@@ -1,0 +1,134 @@
+"""Device profiles calibrated to the paper's Fig. 7 / Fig. 8 measurements.
+
+Calibration points (QD1, block I/O):
+
+===============  =============  =============  ==========================
+quantity         DC-SSD         ULL-SSD        paper reference
+===============  =============  =============  ==========================
+4 KiB read       ~90 us         ~13.2 us       Fig. 7(a); DC ≈ 6.3x ULL,
+                                               read-DMA 40% under DC
+4 KiB write      ~17 us         ~10 us         Fig. 7(b); ULL 70% lower
+stream read BW   ~2.35 GB/s     ~3.2 GB/s      Fig. 8(a); ULL at PCIe cap
+stream write BW  ~1.5 GB/s      ~3.2 GB/s      Fig. 8(b); 2B internal
+                                               ~0.7 GB/s above DC
+===============  =============  =============  ==========================
+
+The paper's own DC-SSD figures are slightly inconsistent (6.3x ULL gives
+~83 us; "read DMA 40% shorter than DC" gives ~97 us); we pick the midpoint
+~90 us and accept both comparisons within ~10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nand.geometry import NandGeometry
+from repro.nand.timing import NandTiming, SLC_ZNAND, TLC_VNAND
+from repro.sim.units import MiB, USEC
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/bandwidth model plus functional-backend shape of one SSD."""
+
+    name: str
+    description: str
+    # Host-visible QD1 command latency: base + nbytes / bandwidth.
+    read_base: float
+    read_bandwidth: float
+    write_base: float
+    write_bandwidth: float
+    # FLUSH command round trip on a power-loss-protected write cache.
+    flush_latency: float
+    # Filesystem overhead an fsync() adds on top of the device FLUSH.
+    fs_sync_overhead: float
+    cache_bytes: int
+    plp_cache: bool
+    nand_timing: NandTiming
+    geometry: NandGeometry
+    queue_parallelism: int = 8
+    destage_workers: int = 64
+    # Multiplicative command-latency jitter (uniform +-fraction).  Zero by
+    # default so the Fig. 7 calibration points are exact; tail-latency
+    # studies use a jittered copy via dataclasses.replace().
+    latency_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read_base <= 0 or self.write_base <= 0:
+            raise ValueError("latency bases must be positive")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.cache_bytes < self.geometry.page_size:
+            raise ValueError("cache must hold at least one page")
+
+    def read_latency(self, nbytes: int) -> float:
+        """Host-visible latency of a QD1 block read of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"read size must be >= 0, got {nbytes}")
+        return self.read_base + nbytes / self.read_bandwidth
+
+    def write_latency(self, nbytes: int) -> float:
+        """Host-visible latency of a QD1 block write of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"write size must be >= 0, got {nbytes}")
+        return self.write_base + nbytes / self.write_bandwidth
+
+
+# Shared geometry: 8 channels x 8 dies, enough physical pages for the
+# experiments while keeping the functional page store sparse.
+_ENTERPRISE_GEOMETRY = NandGeometry(
+    channels=8,
+    dies_per_channel=8,
+    blocks_per_die=64,
+    pages_per_block=64,
+    page_size=4096,
+)
+
+
+DC_SSD = DeviceProfile(
+    name="DC-SSD",
+    description="Datacenter-class TLC NVMe SSD (PM963-class)",
+    read_base=88 * USEC,
+    read_bandwidth=2.35e9,
+    write_base=14.3 * USEC,
+    write_bandwidth=1.5e9,
+    flush_latency=3 * USEC,
+    fs_sync_overhead=2 * USEC,
+    cache_bytes=64 * MiB,
+    plp_cache=True,
+    nand_timing=TLC_VNAND,
+    geometry=_ENTERPRISE_GEOMETRY,
+)
+
+ULL_SSD = DeviceProfile(
+    name="ULL-SSD",
+    description="Ultra-low-latency Z-NAND NVMe SSD (Z-SSD-class)",
+    read_base=11.9 * USEC,
+    read_bandwidth=3.2e9,
+    write_base=8.7 * USEC,
+    write_bandwidth=3.2e9,
+    flush_latency=3 * USEC,
+    fs_sync_overhead=2 * USEC,
+    cache_bytes=64 * MiB,
+    plp_cache=True,
+    nand_timing=SLC_ZNAND,
+    geometry=_ENTERPRISE_GEOMETRY,
+)
+
+# The 2B-SSD prototype piggybacks on the ULL-SSD: identical block path
+# (§V-A: "2B-SSD has the exactly identical block read latencies to ULL-SSD
+# on which it piggybacks"); the byte path is layered on top by repro.core.
+TWOB_BASE = DeviceProfile(
+    name="2B-SSD",
+    description="Dual byte-/block-addressable SSD (ULL-SSD block path + BA-buffer)",
+    read_base=ULL_SSD.read_base,
+    read_bandwidth=ULL_SSD.read_bandwidth,
+    write_base=ULL_SSD.write_base,
+    write_bandwidth=ULL_SSD.write_bandwidth,
+    flush_latency=ULL_SSD.flush_latency,
+    fs_sync_overhead=ULL_SSD.fs_sync_overhead,
+    cache_bytes=ULL_SSD.cache_bytes,
+    plp_cache=True,
+    nand_timing=SLC_ZNAND,
+    geometry=_ENTERPRISE_GEOMETRY,
+)

@@ -1,0 +1,319 @@
+"""BA-WAL: write-ahead logging on the 2B-SSD byte path (§IV-B, Fig. 5 right).
+
+BA commit has three phases:
+
+1. **logging** — records are appended straight into the BA-buffer via MMIO
+   (``memcpy`` through the CPU WC buffer), exactly as many bytes as needed;
+2. **commit** — ``BA_SYNC`` makes everything appended so far durable
+   (clflush+mfence + write-verify read; capacitors guarantee the rest);
+3. **flushing** — when a buffer half fills, a single ``BA_FLUSH`` moves the
+   whole segment to its pinned NAND pages and the half is re-pinned to the
+   next log segment (*double buffering*: appends continue in the other
+   half while the flush runs).
+
+Records never span segment boundaries; the unused tail of a segment is
+skipped, and recovery accepts the resulting segment-aligned LSN jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.api import TwoBApiClient
+from repro.core.mapping_table import BaMappingEntry
+from repro.sim import Engine, Resource
+from repro.sim.engine import Event
+from repro.wal.base import WalStats, WriteAheadLog
+from repro.wal.record import (
+    RECORD_HEADER_BYTES,
+    RecordFormatError,
+    decode_record,
+    encode_record,
+    scan_records,
+)
+
+
+class _Half:
+    """One half of the BA-buffer: a pinned log segment."""
+
+    def __init__(self, entry_id: int, buffer_offset: int) -> None:
+        self.entry_id = entry_id
+        self.buffer_offset = buffer_offset
+        self.entry: Optional[BaMappingEntry] = None
+        self.stream_base = 0      # stream LSN of the segment's first byte
+        self.ready: Optional[Event] = None  # fires when flushed + re-pinned
+
+
+class BaWAL(WriteAheadLog):
+    """WAL backend appending directly into the 2B-SSD BA-buffer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: TwoBApiClient,
+        start_lpn: int = 0,
+        area_pages: int = 16384,
+        segment_bytes: Optional[int] = None,
+        double_buffer: bool = True,
+        entry_ids: tuple[int, int] = (0, 1),
+        buffer_base: int = 0,
+    ) -> None:
+        """``entry_ids`` and ``buffer_base`` let several logs share one
+        BA-buffer (the mapping table holds up to eight entries): each WAL
+        claims two entry ids and a disjoint buffer slice starting at
+        ``buffer_base``."""
+        self.engine = engine
+        self.api = api
+        self.device = api.device
+        self.page_size = self.device.page_size
+        params = api.params
+        self.segment_bytes = segment_bytes or params.buffer_bytes // 2
+        if self.segment_bytes % self.page_size:
+            raise ValueError("segment size must be page-aligned")
+        if buffer_base % self.page_size:
+            raise ValueError("buffer_base must be page-aligned")
+        if buffer_base + 2 * self.segment_bytes > params.buffer_bytes:
+            raise ValueError("two segments (double buffering) must fit the BA-buffer")
+        self.segment_pages = self.segment_bytes // self.page_size
+        if area_pages % self.segment_pages:
+            raise ValueError("log area must hold a whole number of segments")
+        if entry_ids[0] == entry_ids[1]:
+            raise ValueError("the two halves need distinct mapping entry ids")
+        self.double_buffer = double_buffer
+        self.start_lpn = start_lpn
+        self.area_pages = area_pages
+        self.stats = WalStats()
+        self._halves = [
+            _Half(entry_ids[0], buffer_base),
+            _Half(entry_ids[1], buffer_base + self.segment_bytes),
+        ]
+        self._active = 0
+        self._tail = 0
+        self._synced = 0
+        self._next_segment = 0  # next segment sequence number to pin
+        self._insert_lock = Resource(engine)
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @classmethod
+    def over_file(cls, engine: Engine, api: TwoBApiClient, log_file,
+                  **kwargs) -> "BaWAL":
+        """Build a BA-WAL whose log area is a preallocated filesystem file.
+
+        The file must be one contiguous extent (``File.preallocate`` makes
+        one) whose page count divides into whole segments — the on-disk
+        shape of PostgreSQL's recycled XLOG segment files.
+        """
+        from repro.fs.filesystem import FileSystemError
+
+        if log_file.size == 0:
+            raise FileSystemError(f"log file {log_file.name!r} is empty; "
+                                  f"preallocate it first")
+        lpn, contiguous_pages = log_file.extent_for(0)
+        page_size = log_file.fs.page_size
+        total_pages = -(-log_file.size // page_size)
+        if contiguous_pages < total_pages:
+            raise FileSystemError(
+                f"log file {log_file.name!r} is fragmented; BA-WAL needs one "
+                f"contiguous extent"
+            )
+        return cls(engine, api, start_lpn=lpn, area_pages=total_pages, **kwargs)
+
+    def start(self) -> Iterator[Event]:
+        """Process: pin the halves to their first log segments."""
+        if self._started:
+            raise RuntimeError("BaWAL already started")
+        yield self.engine.process(self._pin_half(self._halves[0]))
+        if self.double_buffer:
+            yield self.engine.process(self._pin_half(self._halves[1]))
+        self._started = True
+        return None
+
+    def _pin_half(self, half: _Half) -> Iterator[Event]:
+        segment = self._next_segment
+        self._next_segment += 1
+        half.stream_base = segment * self.segment_bytes
+        lpn = self.start_lpn + (segment * self.segment_pages) % self.area_pages
+        if segment * self.segment_pages >= self.area_pages:
+            # Recycling a wrapped segment: discard its stale generation so
+            # the pin takes the firmware's no-data fast path (XLOG-style
+            # segment recycling).
+            yield self.engine.process(self.api.trim(lpn, self.segment_pages))
+        half.entry = yield self.engine.process(
+            self.api.ba_pin(half.entry_id, half.buffer_offset, lpn, self.segment_bytes)
+        )
+        return None
+
+    # -- WriteAheadLog interface ----------------------------------------------------
+
+    @property
+    def durable_lsn(self) -> int:
+        return self._synced
+
+    @property
+    def tail_lsn(self) -> int:
+        return self._tail
+
+    def append(self, payload: bytes) -> Iterator[Event]:
+        """Process: logging phase — MMIO-append exactly the record's bytes."""
+        if not self._started:
+            raise RuntimeError("call start() before appending")
+        record_len = RECORD_HEADER_BYTES + len(payload)
+        if record_len > self.segment_bytes:
+            raise ValueError(
+                f"record of {record_len} bytes exceeds segment of {self.segment_bytes}"
+            )
+        lock = self._insert_lock.request()
+        yield lock
+        try:
+            half = self._halves[self._active]
+            used = self._tail - half.stream_base
+            if used + record_len > self.segment_bytes:
+                yield self.engine.process(self._switch_halves())
+                half = self._halves[self._active]
+            record = encode_record(self._tail, payload)
+            offset_in_half = self._tail - half.stream_base
+            yield self.engine.process(
+                self.api.mmio_write(half.entry, offset_in_half, record)
+            )
+            self._tail += len(record)
+        finally:
+            self._insert_lock.release(lock)
+        self.stats.appends += 1
+        self.stats.bytes_appended += len(payload)
+        return self._tail
+
+    def commit(self, lsn: int) -> Iterator[Event]:
+        """Process: commit phase — BA_SYNC the active half.
+
+        Takes the insert lock (PostgreSQL's WALWriteLock analogue) so a
+        sync never races a half-switch that is flushing its entry away.
+        """
+        self.stats.commits += 1
+        if lsn <= self._synced:
+            return None
+        lock = self._insert_lock.request()
+        yield lock
+        try:
+            if lsn <= self._synced:
+                return None
+            target = self._tail
+            yield self.engine.process(
+                self.api.ba_sync(self._halves[self._active].entry_id)
+            )
+            self._synced = max(self._synced, target)
+        finally:
+            self._insert_lock.release(lock)
+        return None
+
+    # -- flushing phase -------------------------------------------------------------
+
+    def _switch_halves(self) -> Iterator[Event]:
+        """Seal the active half: sync it, flush it in the background, and
+        continue in the other half (waiting for it only if its own recycle
+        is still running — the double-buffering stall)."""
+        old = self._halves[self._active]
+        # Everything in the sealed segment becomes durable before flushing.
+        yield self.engine.process(self.api.ba_sync(old.entry_id))
+        self._synced = max(self._synced, self._tail)
+        # Skip the unusable tail: records never span segments.
+        self._tail = old.stream_base + self.segment_bytes
+        old.ready = self.engine.event()
+        self.engine.process(self._recycle_half(old), name="ba-wal-recycle")
+        if self.double_buffer:
+            other = self._halves[1 - self._active]
+            if other.ready is not None and not other.ready.processed:
+                self.stats.flush_stalls += 1
+                yield other.ready
+            self._active = 1 - self._active
+        else:
+            # Single-buffered (the paper's Redis port): wait for the
+            # flush+repin to finish, then reuse the same half.
+            self.stats.flush_stalls += 1
+            yield old.ready
+        new_half = self._halves[self._active]
+        if new_half.stream_base != self._tail:
+            # The repinned segment's base must line up with the stream.
+            raise RuntimeError(
+                f"segment misalignment: half base {new_half.stream_base} "
+                f"!= stream tail {self._tail}"
+            )
+        return None
+
+    def _recycle_half(self, half: _Half) -> Iterator[Event]:
+        yield self.engine.process(self.api.ba_flush(half.entry_id))
+        self.stats.device_writes += 1
+        yield self.engine.process(self._pin_half(half))
+        ready, half.ready = half.ready, None
+        if ready is not None:
+            ready.succeed()
+        return None
+
+    # -- recovery --------------------------------------------------------------------
+
+    def recover(self, start_lsn: int = 0) -> Iterator[Event]:
+        """Process: post-crash scan across NAND segments and the restored
+        BA-buffer.
+
+        Restored mapping-table entries overlay their NAND pages (the
+        BA-buffer holds the newer bytes).  Records are collected per
+        segment, then stitched into the longest contiguous run allowing
+        segment-aligned LSN jumps.
+        """
+        collected: list[tuple[int, bytes]] = []
+        segments = self.area_pages // self.segment_pages
+        for segment in range(segments):
+            lpn = self.start_lpn + segment * self.segment_pages
+            # Resolve the pin overlay at access time (a background
+            # flush+re-pin may move entries while recovery is reading),
+            # and read the buffer synchronously so lookup and read are
+            # atomic with respect to the mapping table.
+            overlay = self.device.mapping_table.pinned_lba_overlap(
+                lpn, self.segment_pages)
+            if overlay is not None and overlay.lba == lpn:
+                image = self.device.ba_dram.read(overlay.offset, self.segment_bytes)
+                yield self.engine.timeout(self.api.params.entry_info_latency)
+            else:
+                image = yield self.engine.process(
+                    self.device.read(lpn, self.segment_bytes)
+                )
+            collected.extend(self._scan_anchored(image))
+        collected.sort(key=lambda item: item[0])
+        return self._stitch(collected, start_lsn)
+
+    def _scan_anchored(self, image: bytes) -> list[tuple[int, bytes]]:
+        try:
+            first_lsn, _payload, _next = decode_record(image, 0)
+        except RecordFormatError:
+            return []
+        return scan_records(image, start_lsn=first_lsn)
+
+    def _stitch(self, records: list[tuple[int, bytes]], start_lsn: int) -> list:
+        result: list[tuple[int, bytes]] = []
+        expected = start_lsn
+        if records and all(lsn != start_lsn for lsn, _p in records):
+            # The record at start_lsn no longer exists — the circular area
+            # wrapped over it.  Re-anchor at the oldest surviving segment
+            # boundary (recovery then returns the most recent generation).
+            boundaries = [lsn for lsn, _p in records
+                          if lsn >= start_lsn and lsn % self.segment_bytes == 0]
+            if boundaries:
+                expected = min(boundaries)
+        for lsn, payload in records:
+            if lsn < expected:
+                continue
+            if lsn == expected:
+                result.append((lsn, payload))
+                expected = lsn + RECORD_HEADER_BYTES + len(payload)
+                continue
+            # Allow one segment-boundary jump (the sealed segment's padding).
+            next_segment_base = (
+                (expected // self.segment_bytes) + 1
+            ) * self.segment_bytes
+            if lsn == next_segment_base:
+                result.append((lsn, payload))
+                expected = lsn + RECORD_HEADER_BYTES + len(payload)
+            else:
+                break
+        return result

@@ -1,0 +1,75 @@
+"""The WAL backend interface and shared statistics."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+class CommitMode(enum.Enum):
+    """Transaction commit modes (Fig. 5)."""
+
+    SYNCHRONOUS = "sync"
+    ASYNCHRONOUS = "async"
+    BA = "ba"
+
+
+@dataclass
+class WalStats:
+    """Counters every backend maintains."""
+
+    appends: int = 0
+    commits: int = 0
+    bytes_appended: int = 0
+    device_writes: int = 0
+    page_rewrites: int = 0
+    flush_stalls: int = 0
+
+    @property
+    def mean_record_bytes(self) -> float:
+        return self.bytes_appended / self.appends if self.appends else 0.0
+
+
+class WriteAheadLog(abc.ABC):
+    """A log stream with byte-offset LSNs and a durability horizon.
+
+    ``append`` places a record in the stream and returns its *end* LSN;
+    ``commit(lsn)`` returns once the stream is durable at least up to
+    ``lsn``.  ``durable_lsn`` is the crash-survivable horizon — after a
+    power cycle, :meth:`recover` returns exactly the contiguous records
+    below it (and possibly a few more that made it out by luck).
+    """
+
+    stats: WalStats
+
+    @abc.abstractmethod
+    def append(self, payload: bytes) -> Iterator[Event]:
+        """Process: append one record; returns the record's end LSN."""
+
+    @abc.abstractmethod
+    def commit(self, lsn: int) -> Iterator[Event]:
+        """Process: make the stream durable up to ``lsn``."""
+
+    @abc.abstractmethod
+    def recover(self) -> Iterator[Event]:
+        """Process: post-crash scan; returns ``[(lsn, payload), ...]``."""
+
+    @property
+    @abc.abstractmethod
+    def durable_lsn(self) -> int:
+        """Stream offset below which data is guaranteed crash-survivable."""
+
+    @property
+    @abc.abstractmethod
+    def tail_lsn(self) -> int:
+        """Stream offset of the next append."""
+
+    def append_and_commit(self, payload: bytes) -> Iterator[Event]:
+        """Process: the common ``log(); commit()`` pair; returns end LSN."""
+        lsn = yield self.engine.process(self.append(payload))
+        yield self.engine.process(self.commit(lsn))
+        return lsn

@@ -1,0 +1,74 @@
+"""Log-record wire format shared by every WAL backend.
+
+A record is ``[magic u16][length u32][lsn u64][crc u32] payload`` where the
+LSN is the record's starting byte offset in the log stream and the CRC
+covers the LSN and the payload.  The CRC is what lets recovery distinguish
+a torn or never-written tail from valid records — the crash-consistency
+property all durability tests lean on.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+_HEADER = struct.Struct("<HIQI")
+RECORD_HEADER_BYTES = _HEADER.size
+_MAGIC = 0xB10C
+
+
+class RecordFormatError(Exception):
+    """Raised when bytes do not parse as a valid log record."""
+
+
+def encode_record(lsn: int, payload: bytes) -> bytes:
+    """Serialize one record starting at stream offset ``lsn``."""
+    if lsn < 0:
+        raise ValueError(f"lsn must be non-negative, got {lsn}")
+    crc = zlib.crc32(payload, zlib.crc32(lsn.to_bytes(8, "little")))
+    return _HEADER.pack(_MAGIC, len(payload), lsn, crc) + payload
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> tuple[int, bytes, int]:
+    """Parse one record at ``offset``; returns ``(lsn, payload, next_offset)``.
+
+    Raises :class:`RecordFormatError` on bad magic, truncation, or CRC
+    mismatch (a torn write).
+    """
+    if offset + RECORD_HEADER_BYTES > len(buffer):
+        raise RecordFormatError("truncated header")
+    magic, length, lsn, crc = _HEADER.unpack_from(buffer, offset)
+    if magic != _MAGIC:
+        raise RecordFormatError(f"bad magic {magic:#x} at offset {offset}")
+    start = offset + RECORD_HEADER_BYTES
+    if start + length > len(buffer):
+        raise RecordFormatError("truncated payload")
+    payload = bytes(buffer[start:start + length])
+    expected = zlib.crc32(payload, zlib.crc32(lsn.to_bytes(8, "little")))
+    if crc != expected:
+        raise RecordFormatError(f"crc mismatch at offset {offset} (torn write)")
+    return lsn, payload, start + length
+
+
+def scan_records(buffer: bytes, start_lsn: int = 0) -> list[tuple[int, bytes]]:
+    """Scan a log image for the contiguous run of valid records.
+
+    ``buffer[i]`` is assumed to hold stream offset ``start_lsn + i``.
+    Scanning stops at the first gap: bad magic, CRC failure, LSN
+    discontinuity, or truncation — everything after a torn record is
+    unreachable, exactly as in ARIES-style recovery.
+    """
+    records: list[tuple[int, bytes]] = []
+    offset = 0
+    expected_lsn = start_lsn
+    while offset + RECORD_HEADER_BYTES <= len(buffer):
+        try:
+            lsn, payload, next_offset = decode_record(buffer, offset)
+        except RecordFormatError:
+            break
+        if lsn != expected_lsn:
+            break
+        records.append((lsn, payload))
+        expected_lsn = start_lsn + next_offset
+        offset = next_offset
+    return records

@@ -1,0 +1,27 @@
+"""Workload generators driving the evaluation (§V).
+
+* :mod:`repro.workloads.zipf` — YCSB-style zipfian key selection;
+* :mod:`repro.workloads.ycsb` — the Yahoo! Cloud Serving Benchmark op mix
+  (workload A drives RocksDB and Redis in Fig. 9);
+* :mod:`repro.workloads.linkbench` — Facebook's social-graph benchmark op
+  mix (drives PostgreSQL in Figs. 9 and 10);
+* :mod:`repro.workloads.fio` — FIO-like microbenchmark sweeps (Figs. 7, 8).
+"""
+
+from repro.workloads.fio import bandwidth_of, latency_sweep
+from repro.workloads.linkbench import LinkbenchConfig, LinkbenchOp, LinkbenchWorkload
+from repro.workloads.ycsb import YcsbConfig, YcsbOp, YcsbWorkload
+from repro.workloads.zipf import ScrambledZipfian, ZipfianGenerator
+
+__all__ = [
+    "LinkbenchConfig",
+    "LinkbenchOp",
+    "LinkbenchWorkload",
+    "ScrambledZipfian",
+    "YcsbConfig",
+    "YcsbOp",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "bandwidth_of",
+    "latency_sweep",
+]

@@ -1,0 +1,40 @@
+"""FIO-like microbenchmark helpers (QD1 latency and bandwidth sweeps).
+
+The paper measures Figs. 7 and 8 with Linux FIO at queue depth one; these
+helpers run the equivalent sweeps against any operation factory — a block
+device, the MMIO path, the read-DMA path, or the 2B internal datapath —
+and report per-size mean latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim import Engine
+
+
+def latency_sweep(
+    engine: Engine,
+    make_op: Callable[[int, int], "Iterator"],
+    sizes: list[int],
+    iterations: int = 8,
+) -> dict[int, float]:
+    """Run ``make_op(size, iteration)`` sequentially (QD1) and return the
+    mean latency per request size, in seconds."""
+    results: dict[int, float] = {}
+
+    def runner():
+        for size in sizes:
+            start = engine.now
+            for iteration in range(iterations):
+                yield engine.process(make_op(size, iteration))
+            results[size] = (engine.now - start) / iterations
+        return results
+
+    engine.run(until=engine.process(runner(), name="fio-sweep"))
+    return results
+
+
+def bandwidth_of(latencies: dict[int, float]) -> dict[int, float]:
+    """Convert a latency sweep into bandwidth (bytes/second) per size."""
+    return {size: size / latency for size, latency in latencies.items() if latency > 0}

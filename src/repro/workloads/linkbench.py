@@ -1,0 +1,133 @@
+"""LinkBench: Facebook's social-graph database benchmark [23].
+
+The graph is nodes (objects) and typed directed links (associations).
+The run-phase operation mix below follows the published LinkBench
+distribution — read-dominated with ~30% writes, matching the paper's
+"read intensive with about 30% writes" characterization.  Node ids are
+drawn zipfian (social graphs are power-law), and link payloads are small
+(~100 B), which is what makes log commits the bottleneck.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.workloads.zipf import ZipfianGenerator
+
+
+class LinkbenchOp(enum.Enum):
+    ADD_NODE = "add_node"
+    UPDATE_NODE = "update_node"
+    DELETE_NODE = "delete_node"
+    GET_NODE = "get_node"
+    ADD_LINK = "add_link"
+    DELETE_LINK = "delete_link"
+    UPDATE_LINK = "update_link"
+    COUNT_LINK = "count_link"
+    GET_LINK_LIST = "get_link_list"
+    MULTIGET_LINK = "multiget_link"
+
+
+# Published LinkBench op mix (fractions of the run phase).
+DEFAULT_MIX: dict[LinkbenchOp, float] = {
+    LinkbenchOp.GET_LINK_LIST: 0.505,
+    LinkbenchOp.GET_NODE: 0.129,
+    LinkbenchOp.ADD_LINK: 0.09,
+    LinkbenchOp.UPDATE_LINK: 0.08,
+    LinkbenchOp.UPDATE_NODE: 0.074,
+    LinkbenchOp.COUNT_LINK: 0.049,
+    LinkbenchOp.DELETE_LINK: 0.03,
+    LinkbenchOp.ADD_NODE: 0.026,
+    LinkbenchOp.DELETE_NODE: 0.01,
+    LinkbenchOp.MULTIGET_LINK: 0.007,
+}
+
+WRITE_OPS = frozenset({
+    LinkbenchOp.ADD_NODE, LinkbenchOp.UPDATE_NODE, LinkbenchOp.DELETE_NODE,
+    LinkbenchOp.ADD_LINK, LinkbenchOp.UPDATE_LINK, LinkbenchOp.DELETE_LINK,
+})
+
+
+@dataclass(frozen=True)
+class LinkbenchConfig:
+    """Graph shape and payload sizes."""
+
+    node_count: int = 10_000
+    link_types: int = 2
+    node_payload_bytes: int = 128
+    link_payload_bytes: int = 96
+    zipf_theta: float = 0.95
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2:
+            raise ValueError("need at least two nodes")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"op mix must sum to 1, got {total}")
+
+    @property
+    def write_fraction(self) -> float:
+        return sum(share for op, share in self.mix.items() if op in WRITE_OPS)
+
+
+@dataclass(frozen=True)
+class LinkbenchRequest:
+    op: LinkbenchOp
+    node_id: int
+    other_id: int = 0
+    link_type: int = 0
+    payload: bytes = b""
+
+
+class LinkbenchWorkload:
+    """A deterministic stream of LinkBench requests."""
+
+    def __init__(self, config: LinkbenchConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+        self._nodes = ZipfianGenerator(config.node_count, rng, config.zipf_theta)
+        self._ops = list(config.mix.keys())
+        self._weights = [config.mix[op] for op in self._ops]
+        self._next_node_id = config.node_count
+
+    def _payload(self, nbytes: int) -> bytes:
+        unit = self._rng.getrandbits(32).to_bytes(4, "little")
+        return (unit * (-(-nbytes // 4)))[:nbytes]
+
+    def load_requests(self, links_per_node: int = 4) -> Iterator[LinkbenchRequest]:
+        """Load phase: create the graph (nodes plus a few links each)."""
+        config = self.config
+        for node in range(config.node_count):
+            yield LinkbenchRequest(LinkbenchOp.ADD_NODE, node,
+                                   payload=self._payload(config.node_payload_bytes))
+        for node in range(config.node_count):
+            for _ in range(links_per_node):
+                other = self._rng.randrange(config.node_count)
+                yield LinkbenchRequest(
+                    LinkbenchOp.ADD_LINK, node, other,
+                    link_type=self._rng.randrange(config.link_types),
+                    payload=self._payload(config.link_payload_bytes),
+                )
+
+    def next_request(self) -> LinkbenchRequest:
+        config = self.config
+        op = self._rng.choices(self._ops, weights=self._weights)[0]
+        node = self._nodes.next()
+        other = self._nodes.next()
+        link_type = self._rng.randrange(config.link_types)
+        if op is LinkbenchOp.ADD_NODE:
+            node = self._next_node_id
+            self._next_node_id += 1
+            return LinkbenchRequest(op, node,
+                                    payload=self._payload(config.node_payload_bytes))
+        if op in (LinkbenchOp.UPDATE_NODE,):
+            return LinkbenchRequest(op, node,
+                                    payload=self._payload(config.node_payload_bytes))
+        if op in (LinkbenchOp.ADD_LINK, LinkbenchOp.UPDATE_LINK):
+            return LinkbenchRequest(op, node, other, link_type,
+                                    payload=self._payload(config.link_payload_bytes))
+        return LinkbenchRequest(op, node, other, link_type)

@@ -1,0 +1,116 @@
+"""Workload trace capture and replay.
+
+Running the *same* operation sequence against different configurations is
+what makes Fig. 9-style comparisons fair.  The generators are already
+deterministic per seed; traces make the sequence explicit and portable:
+capture any workload's requests to a JSON-lines file, inspect or edit it,
+and replay it anywhere.
+
+Request payload bytes are hex-encoded; each line is one request, so
+traces diff and truncate cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Union
+
+from repro.workloads.linkbench import LinkbenchOp, LinkbenchRequest
+from repro.workloads.ycsb import YcsbOp, YcsbRequest
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace line does not parse."""
+
+
+def _encode_request(request: Union[YcsbRequest, LinkbenchRequest]) -> dict:
+    if isinstance(request, YcsbRequest):
+        return {
+            "kind": "ycsb",
+            "op": request.op.value,
+            "key": request.key,
+            "value": request.value.hex() if request.value is not None else None,
+            "scan": request.scan_length,
+        }
+    if isinstance(request, LinkbenchRequest):
+        return {
+            "kind": "linkbench",
+            "op": request.op.value,
+            "node": request.node_id,
+            "other": request.other_id,
+            "type": request.link_type,
+            "payload": request.payload.hex(),
+        }
+    raise TypeError(f"cannot trace request of type {type(request).__name__}")
+
+
+def _decode_request(obj: dict) -> Union[YcsbRequest, LinkbenchRequest]:
+    kind = obj.get("kind")
+    if kind == "ycsb":
+        return YcsbRequest(
+            op=YcsbOp(obj["op"]),
+            key=obj["key"],
+            value=bytes.fromhex(obj["value"]) if obj["value"] is not None else None,
+            scan_length=obj.get("scan", 0),
+        )
+    if kind == "linkbench":
+        return LinkbenchRequest(
+            op=LinkbenchOp(obj["op"]),
+            node_id=obj["node"],
+            other_id=obj["other"],
+            link_type=obj["type"],
+            payload=bytes.fromhex(obj["payload"]),
+        )
+    raise TraceFormatError(f"unknown trace request kind {kind!r}")
+
+
+def capture_trace(next_request: Callable[[], object], count: int,
+                  path: Union[str, Path]) -> int:
+    """Draw ``count`` requests from a generator and write them as a trace."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    path = Path(path)
+    with path.open("w") as handle:
+        for _ in range(count):
+            handle.write(json.dumps(_encode_request(next_request())) + "\n")
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> list:
+    """Read a trace file back into request objects."""
+    requests = []
+    with Path(path).open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                requests.append(_decode_request(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError,
+                    TraceFormatError) as exc:
+                raise TraceFormatError(f"line {line_no}: {exc}") from exc
+    return requests
+
+
+class TraceReplayer:
+    """A drop-in ``next_request`` source backed by a recorded trace."""
+
+    def __init__(self, requests: Iterable, repeat: bool = False) -> None:
+        self._requests = list(requests)
+        if not self._requests:
+            raise ValueError("trace is empty")
+        self.repeat = repeat
+        self._position = 0
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def next_request(self):
+        if self._position >= len(self._requests):
+            if not self.repeat:
+                raise TraceFormatError("trace exhausted")
+            self._position = 0
+        request = self._requests[self._position]
+        self._position += 1
+        return request

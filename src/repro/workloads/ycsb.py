@@ -1,0 +1,160 @@
+"""Yahoo! Cloud Serving Benchmark workload generator [24].
+
+Workload A — the paper's choice for RocksDB and Redis (Fig. 9) — is a
+write-heavy 50/50 read/update mix over a zipfian key distribution.  The
+``payload_bytes`` knob is Fig. 9's x-axis: the value size written per
+key-value insertion, and hence the write-request size hitting the log
+device on every update.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.zipf import ScrambledZipfian, ZipfianGenerator
+
+
+class YcsbOp(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """Operation mix and shape of one YCSB workload."""
+
+    record_count: int = 10_000
+    payload_bytes: int = 1024
+    read_proportion: float = 0.5
+    update_proportion: float = 0.5
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    rmw_proportion: float = 0.0
+    zipf_theta: float = 0.99
+    # Request distribution: "zipfian" (scrambled), "latest" (skewed to the
+    # most recently inserted records), or "uniform".
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = (self.read_proportion + self.update_proportion
+                 + self.insert_proportion + self.scan_proportion
+                 + self.rmw_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"op proportions must sum to 1, got {total}")
+        if self.record_count < 1 or self.payload_bytes < 1:
+            raise ValueError("record_count and payload_bytes must be positive")
+        if self.distribution not in ("zipfian", "latest", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    @classmethod
+    def workload_a(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload A: update heavy, 50% reads / 50% updates (the paper's mix)."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=0.5, update_proportion=0.5)
+
+    @classmethod
+    def workload_b(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload B: read mostly, 95% reads / 5% updates."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=0.95, update_proportion=0.05)
+
+    @classmethod
+    def workload_c(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload C: read only."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=1.0, update_proportion=0.0)
+
+    @classmethod
+    def workload_d(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload D: read latest — 95% reads skewed to fresh inserts."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=0.95, update_proportion=0.0,
+                   insert_proportion=0.05, distribution="latest")
+
+    @classmethod
+    def workload_e(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload E: short ranges — 95% scans, 5% inserts."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=0.0, update_proportion=0.0,
+                   insert_proportion=0.05, scan_proportion=0.95)
+
+    @classmethod
+    def workload_f(cls, payload_bytes: int = 1024, record_count: int = 10_000) -> "YcsbConfig":
+        """Workload F: read-modify-write — 50% reads, 50% RMW."""
+        return cls(record_count=record_count, payload_bytes=payload_bytes,
+                   read_proportion=0.5, update_proportion=0.0,
+                   rmw_proportion=0.5)
+
+
+@dataclass(frozen=True)
+class YcsbRequest:
+    op: YcsbOp
+    key: str
+    value: bytes | None = None
+    scan_length: int = 0
+
+
+class YcsbWorkload:
+    """A deterministic stream of YCSB requests."""
+
+    def __init__(self, config: YcsbConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+        self._keys = ScrambledZipfian(config.record_count, rng, config.zipf_theta)
+        self._latest = ZipfianGenerator(config.record_count, rng, config.zipf_theta)
+        self._insert_cursor = config.record_count
+
+    def _choose_index(self) -> int:
+        config = self.config
+        if config.distribution == "uniform":
+            return self._rng.randrange(self._insert_cursor)
+        if config.distribution == "latest":
+            # Rank 0 = the most recently inserted record.
+            offset = self._latest.next()
+            return max(0, self._insert_cursor - 1 - offset)
+        return self._keys.next()
+
+    def key_name(self, index: int) -> str:
+        return f"user{index:012d}"
+
+    def make_value(self) -> bytes:
+        # Deterministic-but-varied payload of the configured size.
+        seed = self._rng.getrandbits(32)
+        unit = seed.to_bytes(4, "little")
+        reps = -(-self.config.payload_bytes // 4)
+        return (unit * reps)[: self.config.payload_bytes]
+
+    def load_requests(self) -> Iterator[YcsbRequest]:
+        """The load phase: insert every record once."""
+        for index in range(self.config.record_count):
+            yield YcsbRequest(YcsbOp.INSERT, self.key_name(index), self.make_value())
+
+    def next_request(self) -> YcsbRequest:
+        """One transaction of the run phase, per the configured mix."""
+        config = self.config
+        roll = self._rng.random()
+        if roll < config.read_proportion:
+            return YcsbRequest(YcsbOp.READ, self.key_name(self._choose_index()))
+        roll -= config.read_proportion
+        if roll < config.update_proportion:
+            return YcsbRequest(YcsbOp.UPDATE, self.key_name(self._choose_index()),
+                               self.make_value())
+        roll -= config.update_proportion
+        if roll < config.insert_proportion:
+            key = self.key_name(self._insert_cursor)
+            self._insert_cursor += 1
+            return YcsbRequest(YcsbOp.INSERT, key, self.make_value())
+        roll -= config.insert_proportion
+        if roll < config.scan_proportion:
+            length = 1 + self._rng.randrange(100)
+            return YcsbRequest(YcsbOp.SCAN, self.key_name(self._choose_index()),
+                               scan_length=length)
+        return YcsbRequest(YcsbOp.READ_MODIFY_WRITE,
+                           self.key_name(self._choose_index()),
+                           self.make_value())

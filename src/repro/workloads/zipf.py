@@ -1,0 +1,64 @@
+"""Zipfian key-selection generators (the YCSB request distribution).
+
+Implements the Gray et al. rejection-free zipfian sampler used by YCSB:
+items are ranked by popularity, item 0 hottest.  :class:`ScrambledZipfian`
+hashes the rank so hot keys spread across the keyspace (YCSB's default),
+avoiding artificial locality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class ZipfianGenerator:
+    """Samples ranks in ``[0, items)`` with zipfian skew ``theta``."""
+
+    def __init__(self, items: int, rng: random.Random, theta: float = 0.99) -> None:
+        if items < 1:
+            raise ValueError(f"need at least one item, got {items}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.items = items
+        self.theta = theta
+        self._rng = rng
+        self._zetan = self._zeta(items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if items <= 2:
+            # Gray et al.'s eta is singular for n <= 2; fall back to exact
+            # weighted sampling over the (tiny) item set.
+            self._eta = None
+            self._weights = [1.0 / (i ** theta) for i in range(1, items + 1)]
+        else:
+            self._eta = ((1 - (2.0 / items) ** (1 - theta))
+                         / (1 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        if self._eta is None:
+            return self._rng.choices(range(self.items), weights=self._weights)[0]
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.items * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class ScrambledZipfian:
+    """Zipfian ranks scattered over the keyspace by hashing (YCSB default)."""
+
+    def __init__(self, items: int, rng: random.Random, theta: float = 0.99) -> None:
+        self.items = items
+        self._zipf = ZipfianGenerator(items, rng, theta)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        digest = hashlib.sha256(rank.to_bytes(8, "little")).digest()
+        return int.from_bytes(digest[:8], "little") % self.items

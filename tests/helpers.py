@@ -1,0 +1,20 @@
+"""Shared test fixtures: assembled platforms (engine + host + devices)."""
+
+from repro.core import BaParams
+from repro.platform import Platform as _LibraryPlatform
+from repro.ssd import ULL_SSD
+
+
+class Platform(_LibraryPlatform):
+    """Library platform with the seed defaults the tests were written for."""
+
+    def __init__(self, ba_params=None, seed=5):
+        super().__init__(ba_params=ba_params, seed=seed)
+
+    def add_block_ssd(self, profile=ULL_SSD, seed=7):
+        return super().add_block_ssd(profile, name=f"test-ssd-{seed}")
+
+
+def small_ba_params(buffer_kib=64, max_entries=8):
+    """A small BA-buffer so segment-recycling paths trigger quickly."""
+    return BaParams(buffer_bytes=buffer_kib * 1024, max_entries=max_entries)

@@ -1,0 +1,94 @@
+"""Tests for the BA-buffer allocator and SMART health reporting."""
+
+import pytest
+
+from repro.core import AllocationError, BaBufferAllocator
+from repro.sim.units import MiB
+from repro.wal import BaWAL
+from tests.helpers import Platform
+
+
+class TestAllocator:
+    def test_slices_are_disjoint(self):
+        platform = Platform(seed=98)
+        allocator = BaBufferAllocator(platform.device)
+        first = allocator.allocate(entries=2, nbytes=2 * MiB)
+        second = allocator.allocate(entries=2, nbytes=2 * MiB)
+        assert set(first.entry_ids).isdisjoint(second.entry_ids)
+        assert first.buffer_base + first.nbytes <= second.buffer_base
+
+    def test_exhaustion_detected(self):
+        platform = Platform(seed=98)
+        allocator = BaBufferAllocator(platform.device)
+        allocator.allocate(entries=8, nbytes=4096)
+        with pytest.raises(AllocationError, match="entries requested"):
+            allocator.allocate(entries=1, nbytes=4096)
+
+    def test_buffer_exhaustion_detected(self):
+        platform = Platform(seed=98)
+        allocator = BaBufferAllocator(platform.device)
+        allocator.allocate(entries=1, nbytes=8 * MiB)
+        with pytest.raises(AllocationError, match="buffer bytes"):
+            allocator.allocate(entries=1, nbytes=4096)
+
+    def test_unaligned_size_rejected(self):
+        platform = Platform(seed=98)
+        allocator = BaBufferAllocator(platform.device)
+        with pytest.raises(AllocationError, match="multiple"):
+            allocator.allocate(entries=1, nbytes=100)
+
+    def test_wal_kwargs_build_working_wals(self):
+        platform = Platform(seed=99)
+        engine = platform.engine
+        allocator = BaBufferAllocator(platform.device)
+        wals = []
+        for index in range(2):
+            slice_ = allocator.allocate(entries=2, nbytes=2 * MiB)
+            wal = BaWAL(engine, platform.api,
+                        start_lpn=30_000 + index * 2048, area_pages=2048,
+                        segment_bytes=1 * MiB, **slice_.wal_kwargs())
+            engine.run_process(wal.start())
+            wals.append(wal)
+
+        def workload():
+            for i in range(10):
+                for wal in wals:
+                    yield engine.process(wal.append_and_commit(b"x%03d" % i))
+
+        engine.run_process(workload())
+        for wal in wals:
+            assert len(engine.run_process(wal.recover())) == 10
+
+    def test_wal_kwargs_require_two_entries(self):
+        platform = Platform(seed=98)
+        allocator = BaBufferAllocator(platform.device)
+        slice_ = allocator.allocate(entries=1, nbytes=4096)
+        with pytest.raises(AllocationError, match="2-entry"):
+            slice_.wal_kwargs()
+
+
+class TestSmart:
+    def test_smart_reports_activity(self):
+        from repro.ssd import ULL_SSD
+        platform = Platform(seed=100)
+        device = platform.add_block_ssd(ULL_SSD)
+        engine = platform.engine
+
+        def workload():
+            for i in range(50):
+                yield engine.process(device.write(i, bytes(4096)))
+            yield engine.process(device.drain())
+
+        engine.run_process(workload())
+        smart = device.smart()
+        assert smart["media_page_programs"] >= 50
+        assert smart["data_units_written"] == 50 * 8
+        assert smart["percentage_used"] >= 0
+        assert smart["waf"] >= 1.0
+        assert smart["power_loss_protected"] is True
+
+    def test_fresh_device_is_healthy(self):
+        platform = Platform(seed=101)
+        smart = platform.device.smart()
+        assert smart["percentage_used"] == 0
+        assert smart["read_retries"] == 0

@@ -1,0 +1,115 @@
+"""Tests for the benchmark drivers and experiment harness (fast variants)."""
+
+import pytest
+
+from repro.bench.drivers import (
+    RunResult,
+    run_linkbench_on_relational,
+    run_ycsb_on_lsm,
+    run_ycsb_on_memkv,
+)
+from repro.bench.experiments import run_table1
+from repro.bench.tables import format_series, format_size, format_table, format_us
+from repro.db.lsm import LSMTree, MemoryTableStorage
+from repro.db.memkv import MemKV
+from repro.db.relational import RelationalEngine
+from repro.platform import Platform
+from repro.sim.units import MiB
+from repro.ssd import ULL_SSD
+from repro.wal import BaWAL, BlockWAL
+from repro.workloads import LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbWorkload
+
+
+def lsm_setup(seed=3):
+    platform = Platform(seed=seed)
+    device = platform.add_block_ssd(ULL_SSD, name="log")
+    wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=8192)
+    tree = LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine),
+                   memtable_bytes=1 * MiB, rng=platform.rng.fork("lsm"))
+    workload = YcsbWorkload(YcsbConfig.workload_a(record_count=100),
+                            platform.rng.fork("ycsb").stream("ops"))
+    return platform, tree, workload
+
+
+class TestDrivers:
+    def test_lsm_driver_produces_sane_result(self):
+        platform, tree, workload = lsm_setup()
+        result = run_ycsb_on_lsm(platform.engine, tree, workload, 200, clients=4)
+        assert isinstance(result, RunResult)
+        assert result.operations == 200
+        assert result.elapsed_seconds > 0
+        assert result.throughput > 0
+        assert result.mean_commit_latency > 0
+
+    def test_lsm_driver_deterministic_across_seeds(self):
+        results = []
+        for _ in range(2):
+            platform, tree, workload = lsm_setup(seed=3)
+            results.append(run_ycsb_on_lsm(platform.engine, tree, workload,
+                                           150, clients=2).throughput)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_memkv_driver(self):
+        platform = Platform(seed=4)
+        device = platform.add_block_ssd(ULL_SSD, name="log")
+        wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=8192)
+        store = MemKV(platform.engine, wal)
+        workload = YcsbWorkload(YcsbConfig.workload_a(record_count=80),
+                                platform.rng.fork("ycsb").stream("ops"))
+        result = run_ycsb_on_memkv(platform.engine, store, workload, 150, clients=3)
+        assert result.operations == 150
+        assert len(store) >= 80
+
+    def test_linkbench_driver_on_ba_wal(self):
+        platform = Platform(seed=5)
+        wal = BaWAL(platform.engine, platform.api, area_pages=8192)
+        platform.engine.run_process(wal.start())
+        db = RelationalEngine(platform.engine, wal)
+        workload = LinkbenchWorkload(LinkbenchConfig(node_count=60),
+                                     platform.rng.fork("lb").stream("ops"))
+        result = run_linkbench_on_relational(platform.engine, db, workload,
+                                             150, clients=4)
+        assert result.operations == 150
+        assert db.row_count("node") > 0
+        assert db.row_count("link") > 0
+
+    def test_more_clients_increase_throughput(self):
+        platform, tree, workload = lsm_setup(seed=6)
+        single = run_ycsb_on_lsm(platform.engine, tree, workload, 150,
+                                 clients=1).throughput
+        platform, tree, workload = lsm_setup(seed=6)
+        quad = run_ycsb_on_lsm(platform.engine, tree, workload, 150,
+                               clients=4).throughput
+        assert quad > 1.5 * single
+
+    def test_invalid_driver_args_rejected(self):
+        platform, tree, workload = lsm_setup()
+        with pytest.raises(ValueError):
+            run_ycsb_on_lsm(platform.engine, tree, workload, 0)
+
+
+class TestTableFormatting:
+    def test_format_table_alignment(self):
+        text = format_table("Title", ["a", "bb"], [(1, 2.5), (30, "x")])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_series_merges_x_values(self):
+        text = format_series("S", "x", {"one": {1: 1.0}, "two": {2: 2.0}})
+        assert "-" in text  # missing points rendered as dashes
+
+    def test_format_size(self):
+        assert format_size(8) == "8B"
+        assert format_size(4096) == "4KiB"
+        assert format_size(1536) == "1.5KiB"
+        assert format_size(16 * 1024 * 1024) == "16MiB"
+
+    def test_format_us(self):
+        assert format_us(1.5e-6) == "1.50us"
+
+    def test_run_table1_contains_paper_constants(self):
+        spec = run_table1()
+        assert spec["BA-buffer size"] == "8 MiB"
+        assert spec["Max. entries of BA-buffer"] == 8

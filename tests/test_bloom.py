@@ -1,0 +1,76 @@
+"""Tests for the bloom filter and its integration with the LSM read path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.lsm.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"key{i}" for i in range(500)]
+        bloom = BloomFilter(keys)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        keys = [f"key{i}" for i in range(2000)]
+        bloom = BloomFilter(keys, bits_per_key=10)
+        probes = [f"absent{i}" for i in range(2000)]
+        false_positives = sum(bloom.might_contain(p) for p in probes)
+        assert false_positives / len(probes) < 0.03  # ~1% expected
+
+    def test_empty_filter(self):
+        bloom = BloomFilter([])
+        assert not bloom.might_contain("anything")
+
+    def test_encode_decode_roundtrip(self):
+        keys = ["alpha", "beta", "gamma"]
+        bloom = BloomFilter(keys)
+        decoded = BloomFilter.decode(bloom.encode())
+        assert all(decoded.might_contain(key) for key in keys)
+        assert decoded.bits == bloom.bits
+        assert decoded.hashes == bloom.hashes
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter.decode(b"short")
+        with pytest.raises(ValueError):
+            BloomFilter.decode(bytes(20))
+
+    def test_invalid_bits_per_key(self):
+        with pytest.raises(ValueError):
+            BloomFilter(["a"], bits_per_key=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.text(min_size=1, max_size=12), min_size=1, max_size=100))
+    def test_property_membership_complete(self, keys):
+        bloom = BloomFilter(keys)
+        assert all(bloom.might_contain(key) for key in keys)
+
+
+class TestLsmFilterIntegration:
+    def test_point_misses_skip_tables(self):
+        from tests.test_lsm import make_lsm
+        platform, tree = make_lsm(memtable_bytes=1024)
+        engine = platform.engine
+
+        def scenario():
+            for i in range(100):
+                yield engine.process(tree.put(f"present{i:03d}", bytes(40)))
+            for i in range(50):
+                # Absent keys *inside* the tables' key range, so only the
+                # bloom filter (not the range check) can skip the probe.
+                yield engine.process(tree.get(f"present{i:03d}x"))
+
+        engine.run_process(scenario())
+        assert tree.flush_count > 0
+        assert tree.filter_skips > 0
+
+    def test_sstable_might_contain_consistent_with_get(self):
+        from repro.db.lsm import SSTable
+        table = SSTable([(f"k{i:03d}", b"v") for i in range(100)])
+        for i in range(100):
+            key = f"k{i:03d}"
+            assert table.might_contain(key)
+            assert table.get(key) == (True, b"v")

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv) -> str:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(list(argv))
+    assert code == 0
+    return buffer.getvalue()
+
+
+class TestCli:
+    def test_list(self):
+        output = run_cli("list")
+        for command in ("table1", "fig7", "fig8", "fig9", "fig10", "ablations"):
+            assert command in output
+
+    def test_no_args_lists(self):
+        assert "available experiments" in run_cli()
+
+    def test_table1(self):
+        output = run_cli("table1")
+        assert "8 MiB" in output
+        assert "PCIe Gen.3 x4" in output
+
+    def test_fig7(self):
+        output = run_cli("fig7")
+        assert "read latency" in output
+        assert "2B-SSD MMIO write" in output
+
+    def test_fig10_quick(self):
+        output = run_cli("fig10", "--quick")
+        assert "normalized" in output
+        assert "PM + DC-SSD" in output
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            run_cli("figure-nine")
+
+    def test_report_writes_markdown(self, tmp_path):
+        output = tmp_path / "report.md"
+        run_cli("report", "--quick", "--output", str(output))
+        text = output.read_text()
+        assert text.startswith("# 2B-SSD reproduction report")
+        for section in ("## Table I", "## Fig. 7", "## Fig. 8", "## Fig. 9",
+                        "## Fig. 10", "## Ablations"):
+            assert section in text

@@ -1,0 +1,142 @@
+"""Tests for the BA-buffer mapping table and LBA checker."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BaMappingTable, EntryNotFoundError, GatedLbaError, PinConflictError
+from repro.core.lba_checker import LbaChecker
+
+PAGE = 4096
+
+
+def make_table(buffer_pages=2048, max_entries=8):
+    return BaMappingTable(buffer_pages * PAGE, max_entries, PAGE)
+
+
+class TestMappingTable:
+    def test_add_and_get(self):
+        table = make_table()
+        entry = table.add(0, 0, 100, 4 * PAGE)
+        assert table.get(0) == entry
+        assert entry.lba_range(PAGE) == (100, 104)
+        assert entry.buffer_range() == (0, 4 * PAGE)
+
+    def test_sub_page_length_rounds_up_lba_range(self):
+        table = make_table()
+        entry = table.add(0, 0, 10, 100)  # 100 bytes -> 1 page
+        assert entry.lba_range(PAGE) == (10, 11)
+
+    def test_max_entries_enforced(self):
+        table = make_table(max_entries=2)
+        table.add(0, 0, 0, PAGE)
+        table.add(1, PAGE, 10, PAGE)
+        with pytest.raises(PinConflictError, match="table full"):
+            table.add(2, 2 * PAGE, 20, PAGE)
+
+    def test_buffer_overlap_rejected(self):
+        table = make_table()
+        table.add(0, 0, 0, 4 * PAGE)
+        with pytest.raises(PinConflictError, match="buffer range"):
+            table.add(1, 2 * PAGE, 100, 4 * PAGE)
+
+    def test_lba_overlap_rejected(self):
+        table = make_table()
+        table.add(0, 0, 50, 4 * PAGE)  # LBAs 50..53
+        with pytest.raises(PinConflictError, match="LBA range"):
+            table.add(1, 16 * PAGE, 53, PAGE)
+
+    def test_duplicate_entry_id_rejected(self):
+        table = make_table()
+        table.add(0, 0, 0, PAGE)
+        with pytest.raises(PinConflictError, match="already exists"):
+            table.add(0, 4 * PAGE, 100, PAGE)
+
+    def test_buffer_capacity_enforced(self):
+        table = make_table(buffer_pages=4)
+        with pytest.raises(PinConflictError, match="exceeds BA-buffer"):
+            table.add(0, 0, 0, 5 * PAGE)
+
+    def test_unaligned_offset_rejected(self):
+        table = make_table()
+        with pytest.raises(PinConflictError, match="page-aligned"):
+            table.add(0, 100, 0, PAGE)
+
+    def test_remove_frees_ranges(self):
+        table = make_table()
+        table.add(0, 0, 0, PAGE)
+        table.remove(0)
+        table.add(1, 0, 0, PAGE)  # ranges are free again
+        assert 0 not in table
+        assert 1 in table
+
+    def test_get_missing_raises(self):
+        table = make_table()
+        with pytest.raises(EntryNotFoundError):
+            table.get(42)
+
+    def test_snapshot_roundtrip(self):
+        table = make_table()
+        table.add(0, 0, 0, PAGE)
+        table.add(3, 4 * PAGE, 700, 2 * PAGE)
+        snapshot = table.to_snapshot()
+        fresh = make_table()
+        fresh.restore_snapshot(snapshot)
+        assert sorted(fresh.to_snapshot()) == sorted(snapshot)
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 500), st.integers(1, 6)),
+        max_size=40,
+    ))
+    def test_property_no_accepted_overlaps(self, pins):
+        """Whatever the request sequence, accepted entries never overlap."""
+        table = make_table(buffer_pages=64, max_entries=8)
+        next_offset = 0
+        for entry_id, lba, pages in pins:
+            try:
+                table.add(entry_id, (next_offset % 56) * PAGE, lba, pages * PAGE)
+                next_offset += pages
+            except PinConflictError:
+                continue
+        entries = table.entries()
+        assert len(entries) <= 8
+        for i, a in enumerate(entries):
+            for b in entries[i + 1:]:
+                a_buf, b_buf = a.buffer_range(), b.buffer_range()
+                assert a_buf[1] <= b_buf[0] or b_buf[1] <= a_buf[0]
+                a_lba, b_lba = a.lba_range(PAGE), b.lba_range(PAGE)
+                assert a_lba[1] <= b_lba[0] or b_lba[1] <= a_lba[0]
+
+
+class TestLbaChecker:
+    def test_write_to_pinned_range_gated(self):
+        table = make_table()
+        table.add(0, 0, 100, 4 * PAGE)
+        checker = LbaChecker(table)
+        with pytest.raises(GatedLbaError, match="gated"):
+            checker.check_write(102, 1)
+        assert checker.stats.gated == 1
+
+    def test_write_outside_pinned_range_allowed(self):
+        table = make_table()
+        table.add(0, 0, 100, 4 * PAGE)
+        checker = LbaChecker(table)
+        checker.check_write(104, 10)  # adjacent, not overlapping
+        checker.check_write(0, 100)
+        assert checker.stats.gated == 0
+        assert checker.stats.checks == 2
+
+    def test_partial_overlap_gated(self):
+        table = make_table()
+        table.add(0, 0, 100, 4 * PAGE)
+        checker = LbaChecker(table)
+        with pytest.raises(GatedLbaError):
+            checker.check_write(98, 3)  # straddles the pin start
+
+    def test_unpin_releases_gate(self):
+        table = make_table()
+        table.add(0, 0, 100, 4 * PAGE)
+        checker = LbaChecker(table)
+        table.remove(0)
+        checker.check_write(100, 4)  # no longer pinned
+        assert checker.stats.gated == 0

@@ -1,0 +1,33 @@
+"""Tests for CSV export of benchmark data."""
+
+from repro.bench.csv_export import csv_to_series, series_to_csv, table_to_csv
+
+
+def test_series_roundtrip():
+    series = {"DC": {4096: 1.5e9, 8192: 2.0e9}, "ULL": {4096: 3.2e9}}
+    text = series_to_csv("size", series)
+    x_label, parsed = csv_to_series(text)
+    assert x_label == "size"
+    assert parsed["DC"]["4096"] == 1.5e9
+    assert parsed["ULL"]["4096"] == 3.2e9
+    assert "8192" not in parsed["ULL"]  # missing point stays missing
+
+
+def test_series_header_order_preserved():
+    series = {"b": {1: 1.0}, "a": {1: 2.0}}
+    first_line = series_to_csv("x", series).splitlines()[0]
+    assert first_line == "x,b,a"
+
+
+def test_table_to_csv():
+    text = table_to_csv(["config", "ops"], [("DC", 100), ("2B", 250)])
+    lines = text.strip().splitlines()
+    assert lines == ["config,ops", "DC,100", "2B,250"]
+
+
+def test_csv_from_real_experiment():
+    from repro.bench.experiments import run_fig7
+    fig7 = run_fig7(iterations=1)
+    text = series_to_csv("size_bytes", fig7["read"])
+    _label, parsed = csv_to_series(text)
+    assert parsed["2B-SSD MMIO read"]["4096"] > parsed["ULL-SSD block read"]["4096"]

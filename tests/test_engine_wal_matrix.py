@@ -1,0 +1,113 @@
+"""The engine x WAL-backend compatibility matrix.
+
+Every database engine must run — and recover — on every WAL backend.
+This is the reproduction's expression of the paper's porting claim: the
+logging scheme is swappable beneath unmodified engine logic.
+"""
+
+import pytest
+
+from repro.db.lsm import LSMTree, MemoryTableStorage
+from repro.db.memkv import MemKV
+from repro.db.relational import RelationalEngine
+from repro.sim import RngStreams
+from repro.ssd import ULL_SSD
+from repro.wal import BaWAL, BlockWAL, CommitMode, PmWAL
+from tests.helpers import Platform, small_ba_params
+
+WAL_KINDS = ("block-sync", "block-async", "ba", "pm")
+ENGINES = ("relational", "lsm", "memkv")
+
+
+def make_wal(platform, kind):
+    if kind.startswith("block"):
+        device = platform.add_block_ssd(ULL_SSD)
+        mode = (CommitMode.ASYNCHRONOUS if kind.endswith("async")
+                else CommitMode.SYNCHRONOUS)
+        return BlockWAL(platform.engine, device, platform.cpu, mode=mode,
+                        area_pages=8192)
+    if kind == "ba":
+        wal = BaWAL(platform.engine, platform.api, area_pages=8192)
+        platform.engine.run_process(wal.start())
+        return wal
+    device = platform.add_block_ssd(ULL_SSD)
+    return PmWAL(platform.engine, device, platform.cpu, pm_bytes=64 * 1024,
+                 area_pages=8192)
+
+
+def make_engine(platform, engine_kind, wal):
+    if engine_kind == "relational":
+        db = RelationalEngine(platform.engine, wal)
+        db.create_table("t")
+        return db
+    if engine_kind == "lsm":
+        return LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine),
+                       memtable_bytes=8192, rng=RngStreams(17))
+    return MemKV(platform.engine, wal)
+
+
+def run_workload(platform, engine_kind, db, count=25):
+    engine = platform.engine
+
+    def workload():
+        for i in range(count):
+            if engine_kind == "relational":
+                txn = db.begin()
+                yield engine.process(db.insert(txn, "t", i, {"v": i}))
+                yield engine.process(db.commit(txn))
+            elif engine_kind == "lsm":
+                yield engine.process(db.put(f"k{i:03d}", bytes([i])))
+            else:
+                yield engine.process(db.set(f"k{i:03d}", bytes([i])))
+
+    engine.run_process(workload())
+
+
+def verify_state(platform, engine_kind, db, count=25):
+    engine = platform.engine
+
+    def check():
+        for i in range(count):
+            if engine_kind == "relational":
+                row = yield engine.process(db.get("t", i))
+                assert row == {"v": i}, i
+            elif engine_kind == "lsm":
+                value = yield engine.process(db.get(f"k{i:03d}"))
+                assert value == bytes([i]), i
+            else:
+                value = yield engine.process(db.get(f"k{i:03d}"))
+                assert value == bytes([i]), i
+
+    engine.run_process(check())
+
+
+@pytest.mark.parametrize("engine_kind", ENGINES)
+@pytest.mark.parametrize("wal_kind", WAL_KINDS)
+def test_engine_runs_on_backend(engine_kind, wal_kind):
+    platform = Platform(ba_params=small_ba_params(64), seed=82)
+    wal = make_wal(platform, wal_kind)
+    db = make_engine(platform, engine_kind, wal)
+    run_workload(platform, engine_kind, db)
+    verify_state(platform, engine_kind, db)
+
+
+@pytest.mark.parametrize("engine_kind", ENGINES)
+@pytest.mark.parametrize("wal_kind", ["block-sync", "ba", "pm"])
+def test_engine_recovers_on_durable_backend(engine_kind, wal_kind):
+    """Crash after the workload; recovery restores every committed write
+    on every backend with a durable commit path."""
+    platform = Platform(ba_params=small_ba_params(64), seed=83)
+    wal = make_wal(platform, wal_kind)
+    db = make_engine(platform, engine_kind, wal)
+    run_workload(platform, engine_kind, db)
+    platform.power.power_cycle()
+
+    fresh = make_engine(platform, engine_kind, wal)
+    engine = platform.engine
+    if engine_kind == "relational":
+        engine.run_process(fresh.recover())
+    elif engine_kind == "lsm":
+        engine.run_process(fresh.recover())
+    else:
+        engine.run_process(fresh.recover())
+    verify_state(platform, engine_kind, fresh)

@@ -1,0 +1,66 @@
+"""Tests for the latency recorder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.metrics import LatencyRecorder
+
+
+class TestLatencyRecorder:
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        assert recorder.percentile(0) == 5.0
+        assert recorder.percentile(100) == 5.0
+        assert recorder.mean == 5.0
+
+    def test_percentiles_of_uniform_sequence(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == pytest.approx(50.5)
+        assert recorder.percentile(99) == pytest.approx(99.01)
+        assert recorder.maximum == 100.0
+
+    def test_interleaved_record_and_query(self):
+        recorder = LatencyRecorder()
+        recorder.record(3.0)
+        recorder.record(1.0)
+        assert recorder.percentile(50) == pytest.approx(2.0)
+        recorder.record(2.0)
+        assert recorder.percentile(50) == pytest.approx(2.0)
+        assert recorder.percentile(0) == 1.0
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        for value in range(10):
+            recorder.record(float(value))
+        summary = recorder.summary()
+        assert set(summary) == {"mean", "p50", "p90", "p99", "p999", "max"}
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+
+    def test_empty_recorder_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError, match="no samples"):
+            recorder.percentile(50)
+
+    def test_invalid_inputs_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1.0)
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_property_percentiles_monotonic_and_bounded(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        p_values = [recorder.percentile(p) for p in (0, 25, 50, 75, 90, 99, 100)]
+        assert p_values == sorted(p_values)
+        assert p_values[0] == min(values)
+        assert p_values[-1] == max(values)

@@ -1,0 +1,113 @@
+"""Tests for the NVMe queue-pair layer."""
+
+import pytest
+
+from repro.ssd import (
+    CompletionMode,
+    NvmeCommand,
+    NvmeOpcode,
+    NvmeQueuePair,
+    ULL_SSD,
+)
+from tests.helpers import Platform
+
+
+def make_qp(depth=8, mode=CompletionMode.INTERRUPT):
+    platform = Platform(seed=41)
+    device = platform.add_block_ssd(ULL_SSD, seed=42)
+    return platform, device, NvmeQueuePair(platform.engine, device,
+                                           depth=depth, completion_mode=mode)
+
+
+class TestCommands:
+    def test_write_read_roundtrip(self):
+        platform, device, qp = make_qp()
+        engine = platform.engine
+
+        def scenario():
+            yield engine.process(qp.write(5, b"nvme payload"))
+            return (yield engine.process(qp.read(5, 12)))
+
+        assert engine.run_process(scenario()) == b"nvme payload"
+
+    def test_flush_counts(self):
+        platform, device, qp = make_qp()
+        platform.engine.run_process(qp.flush())
+        assert device.stats.flushes == 1
+        assert qp.stats.completed == 1
+
+    def test_invalid_commands_rejected(self):
+        with pytest.raises(ValueError, match="carry data"):
+            NvmeCommand(NvmeOpcode.WRITE, 0)
+        with pytest.raises(ValueError, match="positive size"):
+            NvmeCommand(NvmeOpcode.READ, 0, 0)
+        with pytest.raises(ValueError, match="depth"):
+            make_qp(depth=0)
+
+    def test_command_adds_queue_overheads(self):
+        platform, device, qp = make_qp()
+        engine = platform.engine
+        engine.run_process(qp.read(0, 4096))
+        overhead = (qp.SQ_ENTRY_LATENCY + qp.DOORBELL_LATENCY
+                    + qp.INTERRUPT_LATENCY)
+        assert engine.now == pytest.approx(
+            ULL_SSD.read_latency(4096) + overhead, rel=0.01)
+
+
+class TestQueueDepth:
+    def _throughput(self, depth, ios=32):
+        platform, device, qp = make_qp(depth=depth)
+        engine = platform.engine
+
+        def client(i):
+            yield engine.process(qp.read(i, 4096))
+
+        def scenario():
+            procs = [engine.process(client(i)) for i in range(ios)]
+            yield engine.all_of(procs)
+
+        engine.run_process(scenario())
+        return ios * 4096 / engine.now
+
+    def test_bandwidth_scales_with_depth(self):
+        qd1 = self._throughput(1)
+        qd8 = self._throughput(8)
+        assert qd8 > 4 * qd1
+
+    def test_depth_bounds_inflight(self):
+        platform, device, qp = make_qp(depth=2)
+        engine = platform.engine
+        max_inflight = []
+
+        def client(i):
+            yield engine.process(qp.read(i, 4096))
+            max_inflight.append(qp._slots.in_use)
+
+        def scenario():
+            procs = [engine.process(client(i)) for i in range(6)]
+            yield engine.all_of(procs)
+
+        engine.run_process(scenario())
+        assert qp.stats.completed == 6
+        assert all(count <= 2 for count in max_inflight)
+
+
+class TestCompletionModes:
+    def test_polling_has_lower_latency_than_interrupt(self):
+        p_int, d_int, qp_int = make_qp(mode=CompletionMode.INTERRUPT)
+        p_int.engine.run_process(qp_int.read(0, 512))
+        interrupt_latency = p_int.engine.now
+
+        p_poll, d_poll, qp_poll = make_qp(mode=CompletionMode.POLLING)
+        p_poll.engine.run_process(qp_poll.read(0, 512))
+        polling_latency = p_poll.engine.now
+
+        assert polling_latency < interrupt_latency
+        assert interrupt_latency - polling_latency == pytest.approx(
+            qp_int.INTERRUPT_LATENCY - qp_poll.POLL_INTERVAL / 2, rel=0.01)
+
+    def test_stats_track_mode(self):
+        platform, device, qp = make_qp(mode=CompletionMode.POLLING)
+        platform.engine.run_process(qp.read(0, 512))
+        assert qp.stats.poll_spins == 1
+        assert qp.stats.interrupts == 0

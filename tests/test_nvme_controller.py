@@ -1,0 +1,115 @@
+"""Tests for the NVMe controller front end (BAR0 registers + doorbells)."""
+
+import pytest
+
+from repro.ssd import ControllerError, NvmeController, ULL_SSD
+from repro.ssd.controller import CC_ENABLE, REG_CAP, REG_CC, REG_CSTS
+from tests.helpers import Platform
+
+
+def make_controller():
+    platform = Platform(seed=89)
+    device = platform.add_block_ssd(ULL_SSD)
+    return platform, NvmeController(platform.engine, device)
+
+
+class TestRegisters:
+    def test_bringup_sequence(self):
+        platform, ctrl = make_controller()
+        assert not ctrl.ready
+        ctrl.enable()
+        assert ctrl.ready
+        assert ctrl.read_register(REG_CSTS) & 0x1
+
+    def test_reset_tears_down_queues(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        ctrl.create_queue_pair(1)
+        ctrl.write_register(REG_CC, 0)  # CC.EN=0: controller reset
+        assert not ctrl.ready
+        assert ctrl.queue_ids == []
+
+    def test_read_only_registers(self):
+        platform, ctrl = make_controller()
+        with pytest.raises(ControllerError, match="read-only"):
+            ctrl.write_register(REG_CAP, 0)
+        with pytest.raises(ControllerError, match="read-only"):
+            ctrl.write_register(REG_CSTS, 1)
+
+    def test_undefined_register_access(self):
+        platform, ctrl = make_controller()
+        with pytest.raises(ControllerError, match="undefined"):
+            ctrl.read_register(0x99)
+        with pytest.raises(ControllerError, match="undefined"):
+            ctrl.write_register(0x99, 1)
+
+    def test_out_of_window_access(self):
+        from repro.pcie.bar import BarAccessError
+        platform, ctrl = make_controller()
+        with pytest.raises(BarAccessError):
+            ctrl.read_register(0x10000)
+
+
+class TestQueues:
+    def test_io_through_controller_queue(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        queue = ctrl.create_queue_pair(1, depth=4)
+        engine = platform.engine
+
+        def scenario():
+            yield engine.process(queue.write(3, b"via controller"))
+            return (yield engine.process(queue.read(3, 14)))
+
+        assert engine.run_process(scenario()) == b"via controller"
+
+    def test_queue_requires_enabled_controller(self):
+        platform, ctrl = make_controller()
+        with pytest.raises(ControllerError, match="not enabled"):
+            ctrl.create_queue_pair(1)
+
+    def test_queue_id_validation(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        with pytest.raises(ControllerError, match="out of range"):
+            ctrl.create_queue_pair(0)
+        with pytest.raises(ControllerError, match="out of range"):
+            ctrl.create_queue_pair(16)
+        ctrl.create_queue_pair(1)
+        with pytest.raises(ControllerError, match="already exists"):
+            ctrl.create_queue_pair(1)
+
+    def test_delete_queue(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        ctrl.create_queue_pair(2)
+        ctrl.delete_queue_pair(2)
+        with pytest.raises(ControllerError, match="no queue"):
+            ctrl.queue(2)
+
+
+class TestDoorbells:
+    def test_doorbell_offsets_follow_spec_layout(self):
+        platform, ctrl = make_controller()
+        assert ctrl.doorbell_offset(0) == 0x1000
+        assert ctrl.doorbell_offset(1) == 0x1010
+        assert ctrl.doorbell_offset(2) == 0x1020
+
+    def test_ring_doorbell_counts(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        ctrl.create_queue_pair(1)
+        ctrl.write_register(ctrl.doorbell_offset(1), 5)
+        assert ctrl.stats.doorbell_rings == 1
+
+    def test_doorbell_for_missing_queue_rejected(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        with pytest.raises(ControllerError, match="nonexistent"):
+            ctrl.write_register(ctrl.doorbell_offset(3), 1)
+
+    def test_misaligned_doorbell_rejected(self):
+        platform, ctrl = make_controller()
+        ctrl.enable()
+        with pytest.raises(ControllerError, match="misaligned"):
+            ctrl.write_register(0x1004, 1)

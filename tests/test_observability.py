@@ -1,0 +1,65 @@
+"""Tests for the platform-wide stats collector."""
+
+import json
+
+from repro.observability import collect_stats, device_stats
+from repro.ssd import DC_SSD
+from tests.helpers import Platform
+
+PAGE = 4096
+
+
+def test_collect_stats_covers_every_layer():
+    platform = Platform(seed=93)
+    dc = platform.add_block_ssd(DC_SSD)
+    engine, api = platform.engine, platform.api
+
+    def workload():
+        yield engine.process(dc.write(0, b"block traffic"))
+        entry = yield engine.process(api.ba_pin(0, 0, 100, PAGE))
+        yield engine.process(api.mmio_write(entry, 0, b"byte traffic"))
+        yield engine.process(api.ba_sync(0))
+        yield engine.process(api.ba_flush(0))
+
+    engine.run_process(workload())
+    report = collect_stats(platform)
+
+    assert report["simulated_seconds"] > 0
+    assert report["pcie"]["posted_writes"] > 0
+    assert set(report["devices"]) == {"2B-SSD", "DC-SSD"}
+    twob = report["devices"]["2B-SSD"]
+    assert twob["ba_buffer"]["pins"] == 1
+    assert twob["ba_buffer"]["flushes"] == 1
+    assert twob["ba_buffer"]["pinned_entries"] == 0
+    assert twob["nand"]["wear"]["max"] >= 0
+    dc_stats = report["devices"]["DC-SSD"]
+    assert dc_stats["block_io"]["writes"] == 1
+    assert "ba_buffer" not in dc_stats  # plain block device
+
+
+def test_report_is_json_serializable():
+    platform = Platform(seed=94)
+    report = collect_stats(platform)
+    json.dumps(report)  # must not raise
+
+
+def test_duplicate_device_names_disambiguated():
+    platform = Platform(seed=95)
+    platform.add_block_ssd(DC_SSD)
+    platform.add_block_ssd(DC_SSD)
+    report = collect_stats(platform)
+    assert "DC-SSD" in report["devices"]
+    assert "DC-SSD#2" in report["devices"]
+
+
+def test_power_outages_counted():
+    platform = Platform(seed=96)
+    platform.power.power_cycle()
+    assert collect_stats(platform)["power"]["outages"] == 1
+
+
+def test_device_stats_waf_present():
+    platform = Platform(seed=97)
+    stats = device_stats(platform.device)
+    assert stats["ftl"]["waf"] == 1.0
+    assert stats["cache"]["capacity_pages"] > 0

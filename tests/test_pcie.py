@@ -1,0 +1,89 @@
+"""Unit tests for the PCIe link model and BAR windows."""
+
+import pytest
+
+from repro.host.memory import ByteRegion
+from repro.pcie import BarWindow, PcieLink, PcieParams
+from repro.pcie.bar import BarAccessError
+from repro.sim import Engine
+from repro.sim.units import NSEC, USEC
+
+
+class TestPcieLink:
+    def test_posted_write_returns_immediately_and_lands_later(self):
+        engine = Engine()
+        link = PcieLink(engine)
+        region = ByteRegion("dev", 1024)
+        landing = link.posted_write(64, deposit=lambda: region.write(0, b"x" * 64))
+        assert landing > engine.now
+        assert region.read(0, 1) == b"\x00"  # not yet landed
+        engine.run()
+        assert region.read(0, 64) == b"x" * 64
+
+    def test_non_posted_read_waits_for_prior_posted_writes(self):
+        engine = Engine()
+        link = PcieLink(engine)
+        deposited = []
+        link.posted_write(64, deposit=lambda: deposited.append(engine.now))
+
+        def reader():
+            yield engine.process(link.non_posted_read(0))
+            return engine.now
+
+        finished = engine.run_process(reader())
+        assert deposited, "posted write must have landed before the read completed"
+        assert finished >= deposited[0]
+
+    def test_mmio_read_latency_calibration(self):
+        link = PcieLink(Engine())
+        # 4 KiB split into 512 8-byte TLPs at 293 ns each: ~150 us (Fig. 7a).
+        assert link.mmio_read_latency(4096) == pytest.approx(150 * USEC, rel=0.01)
+        assert link.mmio_read_latency(8) == pytest.approx(293 * NSEC)
+        assert link.mmio_read_latency(0) == 0.0
+
+    def test_read_tlp_size_limit(self):
+        engine = Engine()
+        link = PcieLink(engine)
+        with pytest.raises(ValueError):
+            engine.run_process(link.non_posted_read(16))
+
+    def test_posted_writes_serialize_on_the_wire(self):
+        engine = Engine()
+        link = PcieLink(engine)
+        first = link.posted_write(4096)
+        second = link.posted_write(4096)
+        assert second > first
+
+    def test_zero_byte_read_costs_no_tlp(self):
+        engine = Engine()
+        link = PcieLink(engine)
+        engine.run_process(link.non_posted_read(0))
+        assert link.read_tlps_issued == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PcieParams(bandwidth_bytes_per_sec=0)
+
+
+class TestBarWindow:
+    def test_translate_within_window(self):
+        bar = BarWindow(index=1, host_base=0x1000, size=0x100, device_base=0x40)
+        assert bar.translate(0x1000) == 0x40
+        assert bar.translate(0x10FF) == 0x13F
+
+    def test_translate_out_of_window_rejected(self):
+        bar = BarWindow(index=1, host_base=0x1000, size=0x100)
+        with pytest.raises(BarAccessError):
+            bar.translate(0x0FFF)
+        with pytest.raises(BarAccessError):
+            bar.translate(0x10F0, nbytes=0x20)
+
+    def test_contains(self):
+        bar = BarWindow(index=0, host_base=100, size=10)
+        assert bar.contains(100)
+        assert bar.contains(109)
+        assert not bar.contains(110)
+
+    def test_invalid_bar_index(self):
+        with pytest.raises(ValueError):
+            BarWindow(index=6, host_base=0, size=1)

@@ -1,0 +1,104 @@
+"""Platform assembly tests and example smoke tests.
+
+The examples are part of the public surface; each one runs end to end
+(they contain their own assertions) under a suppressed stdout.
+"""
+
+import contextlib
+import io
+import pathlib
+import sys
+
+from repro.platform import Platform
+from repro.ssd import DC_SSD, ULL_SSD
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestPlatform:
+    def test_assembly(self):
+        platform = Platform()
+        assert platform.device.profile.name == "2B-SSD"
+        assert platform.api.device is platform.device
+        assert platform.cpu.link is platform.link
+
+    def test_add_block_ssds(self):
+        platform = Platform()
+        dc = platform.add_block_ssd(DC_SSD)
+        ull = platform.add_block_ssd(ULL_SSD)
+        assert dc.profile is DC_SSD
+        assert ull.profile is ULL_SSD
+
+    def test_power_controller_covers_all_devices(self):
+        platform = Platform()
+        platform.add_block_ssd(DC_SSD)
+        report = platform.power.power_loss()
+        assert set(report.device_dumps) == {"2B-SSD", "DC-SSD"}
+
+    def test_seed_isolation(self):
+        a = Platform(seed=1)
+        b = Platform(seed=2)
+        stream_a = a.rng.fork("x").stream("y").random()
+        stream_b = b.rng.fork("x").stream("y").random()
+        assert stream_a != stream_b
+
+    def test_same_seed_reproducible(self):
+        values = []
+        for _ in range(2):
+            platform = Platform(seed=9)
+            values.append(platform.rng.fork("x").stream("y").random())
+        assert values[0] == values[1]
+
+
+def _run_example(name: str) -> str:
+    """Import and run an example's main() with stdout captured."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module_name = name.removesuffix(".py")
+        # Force a fresh import so repeated runs stay independent.
+        sys.modules.pop(module_name, None)
+        module = __import__(module_name)
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        return buffer.getvalue()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = _run_example("quickstart.py")
+        assert "quickstart OK" in output
+
+    def test_database_logging(self):
+        output = _run_example("database_logging.py")
+        assert "2B-SSD (BA-WAL)" in output
+
+    def test_power_loss_recovery(self):
+        output = _run_example("power_loss_recovery.py")
+        assert "power-loss recovery example OK" in output
+
+    def test_kv_store_ycsb(self):
+        output = _run_example("kv_store_ycsb.py")
+        assert "kv-store example OK" in output
+
+    def test_bulk_ingest_read(self):
+        output = _run_example("bulk_ingest_read.py")
+        assert "bulk-ingest example OK" in output
+
+    def test_multi_tenant(self):
+        output = _run_example("multi_tenant.py")
+        assert "multi-tenant example OK" in output
+
+    def test_sql_logging(self):
+        output = _run_example("sql_logging.py")
+        assert "sql-logging example OK" in output
+
+    def test_every_example_file_is_covered(self):
+        examples = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        covered = {"quickstart.py", "database_logging.py",
+                   "power_loss_recovery.py", "kv_store_ycsb.py",
+                   "bulk_ingest_read.py", "multi_tenant.py",
+                   "sql_logging.py"}
+        assert examples <= covered | {"__init__.py"}

@@ -1,0 +1,178 @@
+"""Unit and property tests for the B-tree index and the binary codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.relational import BTree, pack_obj, unpack_obj
+from repro.db.relational.codec import CodecError
+
+
+class TestBTreeBasics:
+    def test_insert_get(self):
+        tree = BTree(min_degree=2)
+        for i in range(100):
+            tree.insert(i, f"v{i}")
+        for i in range(100):
+            assert tree.get(i) == f"v{i}"
+        assert len(tree) == 100
+        tree.check_invariants()
+
+    def test_replace_does_not_grow(self):
+        tree = BTree(min_degree=2)
+        assert tree.insert("k", 1) is True
+        assert tree.insert("k", 2) is False
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+
+    def test_missing_key_default(self):
+        tree = BTree()
+        assert tree.get("nope") is None
+        assert tree.get("nope", 42) == 42
+        assert "nope" not in tree
+
+    def test_delete(self):
+        tree = BTree(min_degree=2)
+        for i in range(50):
+            tree.insert(i, i)
+        for i in range(0, 50, 2):
+            assert tree.delete(i) is True
+        for i in range(0, 50, 2):
+            assert i not in tree
+        for i in range(1, 50, 2):
+            assert tree.get(i) == i
+        assert tree.delete(1000) is False
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree = BTree(min_degree=2)
+        keys = list(range(200))
+        for key in keys:
+            tree.insert(key, key)
+        import random
+        random.Random(42).shuffle(keys)
+        for key in keys:
+            assert tree.delete(key) is True
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_items_sorted(self):
+        tree = BTree(min_degree=3)
+        import random
+        keys = random.Random(1).sample(range(10000), 500)
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_tuple_keys(self):
+        tree = BTree(min_degree=2)
+        tree.insert((1, 0, 5), "link-a")
+        tree.insert((1, 0, 3), "link-b")
+        tree.insert((2, 1, 1), "link-c")
+        assert tree.get((1, 0, 3)) == "link-b"
+        assert [k for k, _ in tree.items()] == [(1, 0, 3), (1, 0, 5), (2, 1, 1)]
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+
+class TestBTreeRange:
+    def make_tree(self):
+        tree = BTree(min_degree=2)
+        for node in range(5):
+            for link in range(10):
+                tree.insert((node, 0, link), f"{node}-{link}")
+        return tree
+
+    def test_prefix_scan(self):
+        tree = self.make_tree()
+        rows = tree.range_scan((2, 0, 0), limit=100, end=(2, 1, 0))
+        assert len(rows) == 10
+        assert all(key[0] == 2 for key, _ in rows)
+
+    def test_limit_respected(self):
+        tree = self.make_tree()
+        rows = tree.range_scan((0, 0, 0), limit=7)
+        assert len(rows) == 7
+        assert rows[0][0] == (0, 0, 0)
+
+    def test_scan_from_middle(self):
+        tree = self.make_tree()
+        rows = tree.range_scan((2, 0, 5), limit=3)
+        assert [key for key, _ in rows] == [(2, 0, 5), (2, 0, 6), (2, 0, 7)]
+
+    def test_scan_empty_range(self):
+        tree = self.make_tree()
+        assert tree.range_scan((9, 0, 0), limit=10) == []
+
+
+class TestBTreeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 300), st.booleans()), max_size=300),
+           st.integers(2, 5))
+    def test_property_behaves_like_dict(self, ops, degree):
+        tree = BTree(min_degree=degree)
+        shadow: dict[int, int] = {}
+        for key, do_delete in ops:
+            if do_delete:
+                assert tree.delete(key) == (key in shadow)
+                shadow.pop(key, None)
+            else:
+                tree.insert(key, key * 7)
+                shadow[key] = key * 7
+        tree.check_invariants()
+        assert len(tree) == len(shadow)
+        assert dict(tree.items()) == shadow
+        assert [k for k, _ in tree.items()] == sorted(shadow)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 1000), max_size=200), st.integers(0, 1000),
+           st.integers(1, 50))
+    def test_property_range_scan_matches_sorted_slice(self, keys, start, limit):
+        tree = BTree(min_degree=3)
+        for key in keys:
+            tree.insert(key, key)
+        expected = [k for k in sorted(keys) if k >= start][:limit]
+        assert [k for k, _ in tree.range_scan(start, limit)] == expected
+
+
+class TestCodec:
+    CASES = [
+        None, True, False, 0, -1, 2**40, "", "hello", b"", b"\x00\xff",
+        (1, "a", b"b"), [1, [2, [3]]], {"k": 1, "nested": {"x": (1, 2)}},
+        {"t": "put", "k": (5, 0, 7), "r": {"data": b"\x01" * 100}},
+    ]
+
+    @pytest.mark.parametrize("obj", CASES, ids=repr)
+    def test_roundtrip(self, obj):
+        assert unpack_obj(pack_obj(obj)) == obj
+
+    def test_tuples_stay_tuples(self):
+        assert unpack_obj(pack_obj((1, 2))) == (1, 2)
+        assert isinstance(unpack_obj(pack_obj((1, 2))), tuple)
+        assert isinstance(unpack_obj(pack_obj([1, 2])), list)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            pack_obj(object())
+
+    def test_truncated_rejected(self):
+        blob = pack_obj({"key": "value"})
+        with pytest.raises(CodecError):
+            unpack_obj(blob[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            unpack_obj(pack_obj(1) + b"junk")
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers(-2**62, 2**62)
+        | st.text(max_size=30) | st.binary(max_size=30),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=20,
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, obj):
+        assert unpack_obj(pack_obj(obj)) == obj

@@ -1,0 +1,406 @@
+"""Tests for the relational engine: transactions, locking, recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.relational import RelationalEngine, TransactionError
+from repro.ssd import ULL_SSD
+from repro.wal import BaWAL, BlockWAL, CommitMode
+from tests.helpers import Platform, small_ba_params
+
+
+def make_engine(wal_kind="block", mode=CommitMode.SYNCHRONOUS):
+    platform = Platform(ba_params=small_ba_params(64))
+    if wal_kind == "block":
+        device = platform.add_block_ssd(ULL_SSD)
+        wal = BlockWAL(platform.engine, device, platform.cpu, mode=mode,
+                       area_pages=8192)
+    else:
+        wal = BaWAL(platform.engine, platform.api, area_pages=8192)
+        platform.engine.run_process(wal.start())
+    db = RelationalEngine(platform.engine, wal)
+    db.create_table("node")
+    db.create_table("link")
+    return platform, db
+
+
+class TestTransactions:
+    def test_insert_commit_get(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            yield engine.process(db.insert(txn, "node", 1, {"data": b"hello"}))
+            yield engine.process(db.commit(txn))
+            return (yield engine.process(db.get("node", 1)))
+
+        assert engine.run_process(scenario()) == {"data": b"hello"}
+
+    def test_abort_rolls_back(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            setup = db.begin()
+            yield engine.process(db.insert(setup, "node", 1, {"v": 1}))
+            yield engine.process(db.commit(setup))
+            txn = db.begin()
+            yield engine.process(db.update(txn, "node", 1, {"v": 2}))
+            yield engine.process(db.insert(txn, "node", 2, {"v": 3}))
+            yield engine.process(db.abort(txn))
+            first = yield engine.process(db.get("node", 1))
+            second = yield engine.process(db.get("node", 2))
+            return first, second
+
+        first, second = engine.run_process(scenario())
+        assert first == {"v": 1}
+        assert second is None
+        assert db.stats.aborts == 1
+
+    def test_finished_transaction_rejected(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            yield engine.process(db.insert(txn, "node", 1, {}))
+            yield engine.process(db.commit(txn))
+            yield engine.process(db.insert(txn, "node", 2, {}))
+
+        with pytest.raises(TransactionError):
+            engine.run_process(scenario())
+
+    def test_delete_row(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            yield engine.process(db.insert(txn, "node", 5, {"d": b"x"}))
+            yield engine.process(db.commit(txn))
+            txn2 = db.begin()
+            yield engine.process(db.delete(txn2, "node", 5))
+            yield engine.process(db.commit(txn2))
+            return (yield engine.process(db.get("node", 5)))
+
+        assert engine.run_process(scenario()) is None
+
+    def test_write_locks_serialize_conflicting_txns(self):
+        platform, db = make_engine()
+        engine = platform.engine
+        order = []
+
+        def writer(tag, value):
+            txn = db.begin()
+            yield engine.process(db.update(txn, "node", 1, {"v": value}))
+            order.append(tag)
+            yield engine.process(db.commit(txn))
+
+        def scenario():
+            procs = [engine.process(writer("a", 1)), engine.process(writer("b", 2))]
+            yield engine.all_of(procs)
+            return (yield engine.process(db.get("node", 1)))
+
+        row = engine.run_process(scenario())
+        assert order == ["a", "b"]
+        assert row == {"v": 2}
+
+    def test_unknown_table_rejected(self):
+        platform, db = make_engine()
+        with pytest.raises(ValueError, match="no such table"):
+            platform.engine.run_process(db.get("ghost", 1))
+
+    def test_range_scan_prefix(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            for node in (1, 2):
+                for other in range(5):
+                    yield engine.process(db.insert(
+                        txn, "link", (node, 0, other), {"p": b"x"}))
+            yield engine.process(db.commit(txn))
+            return (yield engine.process(
+                db.range_scan("link", (1, 0, 0), limit=10, end_key=(1, 1, 0))
+            ))
+
+        rows = engine.run_process(scenario())
+        assert [key for key, _ in rows] == [(1, 0, i) for i in range(5)]
+
+
+class TestRecovery:
+    def test_committed_txns_survive_crash(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            for i in range(10):
+                txn = db.begin()
+                yield engine.process(db.insert(txn, "node", i, {"n": i}))
+                yield engine.process(db.commit(txn))
+
+        engine.run_process(scenario())
+        platform.power.power_cycle()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.create_table("node")
+        fresh.create_table("link")
+
+        def recovery():
+            replayed = yield engine.process(fresh.recover())
+            rows = []
+            for i in range(10):
+                rows.append((yield engine.process(fresh.get("node", i))))
+            return replayed, rows
+
+        replayed, rows = engine.run_process(recovery())
+        assert replayed == 10
+        assert rows == [{"n": i} for i in range(10)]
+
+    def test_uncommitted_txn_discarded_on_recovery(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            committed = db.begin()
+            yield engine.process(db.insert(committed, "node", 1, {"ok": True}))
+            yield engine.process(db.commit(committed))
+            dangling = db.begin()
+            yield engine.process(db.insert(dangling, "node", 2, {"ok": False}))
+            # crash before commit
+
+        engine.run_process(scenario())
+        platform.power.power_cycle()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.create_table("node")
+
+        def recovery():
+            yield engine.process(fresh.recover())
+            one = yield engine.process(fresh.get("node", 1))
+            two = yield engine.process(fresh.get("node", 2))
+            return one, two
+
+        one, two = engine.run_process(recovery())
+        assert one == {"ok": True}
+        assert two is None
+
+    def test_aborted_txn_not_replayed(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            yield engine.process(db.insert(txn, "node", 9, {"bad": True}))
+            yield engine.process(db.abort(txn))
+            good = db.begin()
+            yield engine.process(db.insert(good, "node", 10, {"good": True}))
+            yield engine.process(db.commit(good))
+
+        engine.run_process(scenario())
+        platform.power.power_cycle()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.create_table("node")
+
+        def recovery():
+            yield engine.process(fresh.recover())
+            return (
+                (yield engine.process(fresh.get("node", 9))),
+                (yield engine.process(fresh.get("node", 10))),
+            )
+
+        nine, ten = engine.run_process(recovery())
+        assert nine is None
+        assert ten == {"good": True}
+
+    def test_recovery_with_ba_wal(self):
+        platform, db = make_engine(wal_kind="ba")
+        engine = platform.engine
+
+        def scenario():
+            for i in range(15):
+                txn = db.begin()
+                yield engine.process(db.insert(txn, "node", i, {"d": bytes([i]) * 40}))
+                yield engine.process(db.commit(txn))
+
+        engine.run_process(scenario())
+        platform.power.power_cycle()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.create_table("node")
+        fresh.create_table("link")
+
+        def recovery():
+            yield engine.process(fresh.recover())
+            rows = []
+            for i in range(15):
+                rows.append((yield engine.process(fresh.get("node", i))))
+            return rows
+
+        rows = engine.run_process(recovery())
+        assert rows == [{"d": bytes([i]) * 40} for i in range(15)]
+
+    def test_checkpoint_image_roundtrip(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            txn = db.begin()
+            yield engine.process(db.insert(txn, "node", 1, {"x": b"snap"}))
+            yield engine.process(db.insert(txn, "link", (1, 0, 2), {"y": 7}))
+            yield engine.process(db.commit(txn))
+
+        engine.run_process(scenario())
+        image = db.checkpoint_image()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.load_checkpoint(image)
+        assert fresh.row_count("node") == 1
+        assert fresh.row_count("link") == 1
+
+        def check():
+            return (yield engine.process(fresh.get("link", (1, 0, 2))))
+
+        assert engine.run_process(check()) == {"y": 7}
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 8),
+                              st.one_of(st.none(), st.binary(max_size=30)),
+                              st.booleans()),
+                    min_size=1, max_size=30))
+    def test_property_recovery_matches_committed_state(self, ops):
+        platform, db = make_engine()
+        engine = platform.engine
+        shadow: dict[int, dict] = {}
+
+        def scenario():
+            for key, value, do_commit in ops:
+                txn = db.begin()
+                if value is None:
+                    yield engine.process(db.delete(txn, "node", key))
+                else:
+                    yield engine.process(db.insert(txn, "node", key, {"v": value}))
+                if do_commit:
+                    yield engine.process(db.commit(txn))
+                    if value is None:
+                        shadow.pop(key, None)
+                    else:
+                        shadow[key] = {"v": value}
+                else:
+                    yield engine.process(db.abort(txn))
+
+        engine.run_process(scenario())
+        platform.power.power_cycle()
+        fresh = RelationalEngine(engine, db.wal)
+        fresh.create_table("node")
+
+        def recovery():
+            yield engine.process(fresh.recover())
+            result = {}
+            for key in range(9):
+                row = yield engine.process(fresh.get("node", key))
+                if row is not None:
+                    result[key] = row
+            return result
+
+        assert engine.run_process(recovery()) == shadow
+
+
+class TestReadCommitted:
+    def test_reader_sees_before_image_of_uncommitted_write(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            setup = db.begin()
+            yield engine.process(db.insert(setup, "node", 1, {"v": "old"}))
+            yield engine.process(db.commit(setup))
+            writer = db.begin()
+            yield engine.process(db.update(writer, "node", 1, {"v": "new"}))
+            # Another session reads while the writer is still open.
+            seen = yield engine.process(db.get("node", 1))
+            own = yield engine.process(db.get("node", 1, txn=writer))
+            yield engine.process(db.commit(writer))
+            after = yield engine.process(db.get("node", 1))
+            return seen, own, after
+
+        seen, own, after = engine.run_process(scenario())
+        assert seen == {"v": "old"}     # READ COMMITTED
+        assert own == {"v": "new"}      # own writes visible
+        assert after == {"v": "new"}    # visible once committed
+
+    def test_uncommitted_insert_invisible(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            writer = db.begin()
+            yield engine.process(db.insert(writer, "node", 9, {"v": 1}))
+            invisible = yield engine.process(db.get("node", 9))
+            yield engine.process(db.abort(writer))
+            gone = yield engine.process(db.get("node", 9))
+            return invisible, gone
+
+        invisible, gone = engine.run_process(scenario())
+        assert invisible is None
+        assert gone is None
+
+    def test_uncommitted_delete_still_visible_to_others(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            setup = db.begin()
+            yield engine.process(db.insert(setup, "node", 5, {"v": "live"}))
+            yield engine.process(db.commit(setup))
+            deleter = db.begin()
+            yield engine.process(db.delete(deleter, "node", 5))
+            seen = yield engine.process(db.get("node", 5))
+            yield engine.process(db.commit(deleter))
+            after = yield engine.process(db.get("node", 5))
+            return seen, after
+
+        seen, after = engine.run_process(scenario())
+        assert seen == {"v": "live"}
+        assert after is None
+
+    def test_scan_skips_uncommitted_inserts(self):
+        platform, db = make_engine()
+        engine = platform.engine
+
+        def scenario():
+            setup = db.begin()
+            for i in (1, 3):
+                yield engine.process(db.insert(setup, "node", i, {"v": i}))
+            yield engine.process(db.commit(setup))
+            writer = db.begin()
+            yield engine.process(db.insert(writer, "node", 2, {"v": 2}))
+            rows = yield engine.process(db.range_scan("node", 0, limit=10))
+            yield engine.process(db.commit(writer))
+            rows_after = yield engine.process(db.range_scan("node", 0, limit=10))
+            return [k for k, _ in rows], [k for k, _ in rows_after]
+
+        before, after = engine.run_process(scenario())
+        assert before == [1, 3]
+        assert after == [1, 2, 3]
+
+    def test_sql_update_sees_own_prior_update(self):
+        from repro.db.relational import SqlSession
+        platform, db = make_engine()
+        session = SqlSession(db)
+        engine = platform.engine
+
+        def script():
+            for statement in (
+                "CREATE TABLE t2",
+                "INSERT INTO t2 (id, a, b) VALUES (1, 0, 0)",
+                "BEGIN",
+                "UPDATE t2 SET a = 1 WHERE id = 1",
+                "UPDATE t2 SET b = 2 WHERE id = 1",
+                "COMMIT",
+            ):
+                yield engine.process(session.execute(statement))
+            return (yield engine.process(session.execute(
+                "SELECT a, b FROM t2 WHERE id = 1")))
+
+        rows = engine.run_process(script())
+        assert rows == [{"a": 1, "b": 2}]

@@ -1,0 +1,87 @@
+"""Deliverable completeness: the repo ships what the reproduction promises.
+
+Documentation, examples, and one benchmark per paper artifact must exist
+and stay in sync with DESIGN.md's experiment index.
+"""
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestDocumentation:
+    def test_top_level_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "REPORT.md"):
+            path = ROOT / name
+            assert path.exists(), name
+            assert len(path.read_text()) > 500, f"{name} looks stubbed"
+
+    def test_docs_folder(self):
+        for name in ("architecture.md", "modeling.md", "api.md", "cookbook.md"):
+            assert (ROOT / "docs" / name).exists(), name
+
+    def test_design_confirms_paper_match(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "no title collision" in text
+
+    def test_experiments_covers_every_artifact(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for artifact in ("Table I", "Fig. 7(a)", "Fig. 7(b)", "Fig. 8",
+                         "Fig. 9", "Fig. 10"):
+            assert artifact in text, artifact
+
+
+class TestExamples:
+    def test_at_least_three_examples_with_quickstart(self):
+        examples = [p.name for p in (ROOT / "examples").glob("*.py")]
+        assert "quickstart.py" in examples
+        assert len(examples) >= 3
+
+
+class TestBenchmarks:
+    def test_one_bench_per_paper_artifact(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        required = {
+            "bench_table1_spec.py",
+            "bench_fig7_latency.py",
+            "bench_fig8_bandwidth.py",
+            "bench_fig9_applications.py",
+            "bench_fig10_heterogeneous.py",
+        }
+        assert required <= benches
+
+    def test_ablations_from_design_doc_exist(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        design = (ROOT / "DESIGN.md").read_text()
+        for name in benches:
+            if "ablation" in name or "extension" in name:
+                continue
+            assert name in design, f"{name} missing from DESIGN.md's index"
+        for listed in ("bench_ablation_write_combining.py",
+                       "bench_ablation_read_dma.py",
+                       "bench_ablation_double_buffering.py",
+                       "bench_ablation_ba_buffer_size.py",
+                       "bench_ablation_waf.py"):
+            assert listed in benches
+
+
+class TestPublicSurface:
+    def test_package_imports_cleanly(self):
+        import repro.core
+        import repro.db.lsm
+        import repro.db.memkv
+        import repro.db.relational
+        import repro.fs
+        import repro.observability
+        import repro.platform
+        import repro.wal
+        import repro.workloads
+
+    def test_public_modules_have_docstrings(self):
+        import importlib
+        for module_name in ("repro.sim", "repro.host", "repro.pcie",
+                            "repro.nand", "repro.ftl", "repro.ssd",
+                            "repro.core", "repro.fs", "repro.wal",
+                            "repro.db", "repro.workloads", "repro.bench"):
+            module = importlib.import_module(module_name)
+            assert module.__doc__ and len(module.__doc__) > 60, module_name

@@ -1,0 +1,188 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Engine, Resource, SimulationError, Store
+
+
+def test_resource_serializes_contenders():
+    engine = Engine()
+    res = Resource(engine, capacity=1)
+    finish_times = []
+
+    def worker():
+        req = res.request()
+        yield req
+        yield engine.timeout(1.0)
+        res.release(req)
+        finish_times.append(engine.now)
+
+    for _ in range(3):
+        engine.process(worker())
+    engine.run()
+    assert finish_times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_resource_capacity_allows_parallelism():
+    engine = Engine()
+    res = Resource(engine, capacity=2)
+    finish_times = []
+
+    def worker():
+        req = res.request()
+        yield req
+        yield engine.timeout(1.0)
+        res.release(req)
+        finish_times.append(engine.now)
+
+    for _ in range(4):
+        engine.process(worker())
+    engine.run()
+    assert finish_times == [
+        pytest.approx(1.0),
+        pytest.approx(1.0),
+        pytest.approx(2.0),
+        pytest.approx(2.0),
+    ]
+
+
+def test_resource_fifo_ordering():
+    engine = Engine()
+    res = Resource(engine, capacity=1)
+    order = []
+
+    def worker(tag, start_delay):
+        yield engine.timeout(start_delay)
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield engine.timeout(10.0)
+        res.release(req)
+
+    engine.process(worker("first", 0.0))
+    engine.process(worker("second", 1.0))
+    engine.process(worker("third", 2.0))
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_acquire_helper_releases_on_exception():
+    engine = Engine()
+    res = Resource(engine, capacity=1)
+
+    def failing_work():
+        yield engine.timeout(0.1)
+        raise ValueError("inner failure")
+
+    def ok_work():
+        yield engine.timeout(0.1)
+        return "ok"
+
+    def parent():
+        try:
+            yield engine.process(res.acquire(failing_work()))
+        except ValueError:
+            pass
+        result = yield engine.process(res.acquire(ok_work()))
+        return result
+
+    assert engine.run_process(parent()) == "ok"
+    assert res.in_use == 0
+
+
+def test_release_wrong_resource_rejected():
+    engine = Engine()
+    res_a = Resource(engine, capacity=1)
+    res_b = Resource(engine, capacity=1)
+    req = res_a.request()
+    with pytest.raises(SimulationError):
+        res_b.release(req)
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Engine(), capacity=0)
+
+
+def test_store_put_then_get():
+    engine = Engine()
+    store = Store(engine)
+    store.put("a")
+    store.put("b")
+
+    def getter():
+        first = yield store.get()
+        second = yield store.get()
+        return [first, second]
+
+    assert engine.run_process(getter()) == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    engine = Engine()
+    store = Store(engine)
+
+    def producer():
+        yield engine.timeout(2.0)
+        store.put("late")
+
+    def consumer():
+        item = yield store.get()
+        return item, engine.now
+
+    engine.process(producer())
+    item, now = engine.run_process(consumer())
+    assert item == "late"
+    assert now == pytest.approx(2.0)
+
+
+def test_store_multiple_blocked_getters_fifo():
+    engine = Engine()
+    store = Store(engine)
+    received = []
+
+    def consumer(tag):
+        item = yield store.get()
+        received.append((tag, item))
+
+    engine.process(consumer("g1"))
+    engine.process(consumer("g2"))
+
+    def producer():
+        yield engine.timeout(1.0)
+        store.put("x")
+        store.put("y")
+
+    engine.process(producer())
+    engine.run()
+    assert received == [("g1", "x"), ("g2", "y")]
+
+
+class TestRetire:
+    def test_release_on_retired_resource_is_inert(self):
+        engine = Engine()
+        old = Resource(engine, capacity=1)
+        request = old.request()
+        old.retire()
+        replacement = Resource(engine, capacity=1)
+        # Zombie cleanup releasing an old grant against the replacement
+        # must not corrupt the replacement's accounting.
+        replacement.release(request)
+        assert replacement.in_use == 0
+        fresh = replacement.request()
+        assert fresh.triggered
+
+    def test_retired_resource_ignores_own_release(self):
+        engine = Engine()
+        resource = Resource(engine)
+        request = resource.request()
+        resource.retire()
+        resource.release(request)  # must not raise
+
+    def test_live_resources_still_validate_ownership(self):
+        engine = Engine()
+        a = Resource(engine)
+        b = Resource(engine)
+        request = a.request()
+        with pytest.raises(SimulationError):
+            b.release(request)

@@ -1,0 +1,253 @@
+"""Tests for the SQL front end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.relational import RelationalEngine
+from repro.db.relational.sql import SqlError, SqlSession
+from repro.ssd import ULL_SSD
+from repro.wal import BaWAL, BlockWAL
+from tests.helpers import Platform, small_ba_params
+
+
+def make_session(wal_kind="block"):
+    platform = Platform(ba_params=small_ba_params(64), seed=81)
+    if wal_kind == "block":
+        device = platform.add_block_ssd(ULL_SSD)
+        wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=8192)
+    else:
+        wal = BaWAL(platform.engine, platform.api, area_pages=8192)
+        platform.engine.run_process(wal.start())
+    db = RelationalEngine(platform.engine, wal)
+    return platform, db, SqlSession(db)
+
+
+def run(platform, session, *statements):
+    engine = platform.engine
+
+    def script():
+        results = []
+        for statement in statements:
+            results.append((yield engine.process(session.execute(statement))))
+        return results
+
+    return engine.run_process(script())
+
+
+class TestBasicStatements:
+    def test_create_insert_select(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE accounts",
+                      "INSERT INTO accounts (id, owner, balance) "
+                      "VALUES (1, 'alice', 100)",
+                      "SELECT * FROM accounts WHERE id = 1")
+        assert results[2] == [{"id": 1, "owner": "alice", "balance": 100}]
+
+    def test_select_missing_row_empty(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "SELECT * FROM t WHERE id = 99")
+        assert results[1] == []
+
+    def test_update(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "INSERT INTO t (id, v) VALUES (1, 10)",
+                      "UPDATE t SET v = 20 WHERE id = 1",
+                      "SELECT v FROM t WHERE id = 1",
+                      "UPDATE t SET v = 5 WHERE id = 42")
+        assert results[2] == 1
+        assert results[3] == [{"v": 20}]
+        assert results[4] == 0  # no such row
+
+    def test_delete(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "INSERT INTO t (id) VALUES (1)",
+                      "DELETE FROM t WHERE id = 1",
+                      "SELECT * FROM t WHERE id = 1",
+                      "DELETE FROM t WHERE id = 1")
+        assert results[2] == 1
+        assert results[3] == []
+        assert results[4] == 0
+
+    def test_range_and_limit(self):
+        platform, db, session = make_session()
+        statements = ["CREATE TABLE t"]
+        statements += [f"INSERT INTO t (id, v) VALUES ({i}, {i * 10})"
+                       for i in range(10)]
+        statements += ["SELECT id FROM t WHERE id BETWEEN 3 AND 7",
+                       "SELECT id FROM t WHERE id BETWEEN 0 AND 9 LIMIT 4"]
+        results = run(platform, session, *statements)
+        assert [r["id"] for r in results[-2]] == [3, 4, 5, 6, 7]
+        assert [r["id"] for r in results[-1]] == [0, 1, 2, 3]
+
+    def test_projection(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "INSERT INTO t (id, a, b) VALUES (1, 'x', 'y')",
+                      "SELECT b, id FROM t WHERE id = 1")
+        assert results[2] == [{"b": "y", "id": 1}]
+
+    def test_literals(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "INSERT INTO t (id, s, raw, flag, nothing) "
+                      "VALUES (-5, 'it''s', X'deadbeef', TRUE, NULL)",
+                      "SELECT * FROM t WHERE id = -5")
+        row = results[2][0]
+        assert row["s"] == "it's"
+        assert row["raw"] == bytes.fromhex("deadbeef")
+        assert row["flag"] is True
+        assert row["nothing"] is None
+
+    def test_case_insensitive_keywords(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "create table t",
+                      "insert into t (id) values (1)",
+                      "select * from t where id = 1")
+        assert results[2] == [{"id": 1}]
+
+
+class TestTransactions:
+    def test_explicit_commit(self):
+        platform, db, session = make_session()
+        run(platform, session,
+            "CREATE TABLE t", "BEGIN",
+            "INSERT INTO t (id, v) VALUES (1, 1)",
+            "INSERT INTO t (id, v) VALUES (2, 2)",
+            "COMMIT")
+        assert db.row_count("t") == 2
+        assert not session.in_transaction
+
+    def test_rollback_discards(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t", "BEGIN",
+                      "INSERT INTO t (id) VALUES (1)",
+                      "ROLLBACK",
+                      "SELECT * FROM t WHERE id = 1")
+        assert results[4] == []
+
+    def test_autocommit_failure_rolls_back(self):
+        platform, db, session = make_session()
+        with pytest.raises(ValueError, match="no such table"):
+            run(platform, session, "INSERT INTO ghost (id) VALUES (1)")
+
+    def test_nested_begin_rejected(self):
+        platform, db, session = make_session()
+        with pytest.raises(SqlError, match="already in a transaction"):
+            run(platform, session, "BEGIN", "BEGIN")
+
+    def test_commit_without_begin_rejected(self):
+        platform, db, session = make_session()
+        with pytest.raises(SqlError, match="outside a transaction"):
+            run(platform, session, "COMMIT")
+
+    def test_committed_sql_survives_crash_on_ba_wal(self):
+        platform, db, session = make_session(wal_kind="ba")
+        run(platform, session,
+            "CREATE TABLE t",
+            "INSERT INTO t (id, v) VALUES (1, 'durable')",
+            "BEGIN",
+            "INSERT INTO t (id, v) VALUES (2, 'uncommitted')")
+        platform.power.power_cycle()
+        fresh = RelationalEngine(platform.engine, db.wal)
+        fresh.create_table("t")
+        platform.engine.run_process(fresh.recover())
+        fresh_session = SqlSession(fresh)
+        results = run(platform, fresh_session,
+                      "SELECT v FROM t WHERE id = 1",
+                      "SELECT * FROM t WHERE id = 2")
+        assert results[0] == [{"v": "durable"}]
+        assert results[1] == []
+
+
+class TestParseErrors:
+    CASES = [
+        "DROP TABLE t",                                  # unsupported verb
+        "SELECT * FROM t",                               # missing WHERE
+        "SELECT * FROM t WHERE name = 'x'",              # non-pk predicate
+        "INSERT INTO t (a) VALUES (1)",                  # missing pk
+        "INSERT INTO t (id, a) VALUES (1)",              # arity mismatch
+        "UPDATE t SET id = 2 WHERE id = 1",              # pk update
+        "SELECT * FROM t WHERE id = 1 garbage",          # trailing tokens
+        "INSERT INTO t (id) VALUES (@)",                 # bad token
+        "SELECT",                                        # truncated
+    ]
+
+    @pytest.mark.parametrize("statement", CASES, ids=lambda s: s[:30])
+    def test_rejected(self, statement):
+        platform, db, session = make_session()
+        run(platform, session, "CREATE TABLE t")
+        with pytest.raises(SqlError):
+            run(platform, session, statement)
+
+
+class TestSqlProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9),
+                              st.one_of(st.integers(-100, 100),
+                                        st.text(alphabet="abc", max_size=5))),
+                    min_size=1, max_size=25))
+    def test_property_sql_matches_dict(self, writes):
+        platform, db, session = make_session()
+        run(platform, session, "CREATE TABLE t")
+        shadow = {}
+        for key, value in writes:
+            if isinstance(value, str):
+                literal = "'" + value.replace("'", "''") + "'"
+            else:
+                literal = str(value)
+            if key in shadow:
+                run(platform, session,
+                    f"UPDATE t SET v = {literal} WHERE id = {key}")
+            else:
+                run(platform, session,
+                    f"INSERT INTO t (id, v) VALUES ({key}, {literal})")
+            shadow[key] = value
+        for key, value in shadow.items():
+            rows = run(platform, session,
+                       f"SELECT v FROM t WHERE id = {key}")[0]
+            assert rows == [{"v": value}]
+
+
+class TestTransactionVisibility:
+    def test_select_sees_own_uncommitted_writes(self):
+        platform, db, session = make_session()
+        results = run(platform, session,
+                      "CREATE TABLE t",
+                      "INSERT INTO t (id, v) VALUES (1, 'committed')",
+                      "BEGIN",
+                      "UPDATE t SET v = 'mine' WHERE id = 1",
+                      "INSERT INTO t (id, v) VALUES (2, 'also mine')",
+                      "SELECT v FROM t WHERE id = 1",
+                      "SELECT id FROM t WHERE id BETWEEN 1 AND 5",
+                      "ROLLBACK",
+                      "SELECT v FROM t WHERE id = 1")
+        assert results[5] == [{"v": "mine"}]
+        assert [r["id"] for r in results[6]] == [1, 2]
+        assert results[8] == [{"v": "committed"}]
+
+    def test_other_sessions_do_not_see_uncommitted(self):
+        platform, db, session = make_session()
+        other = __import__("repro.db.relational.sql",
+                           fromlist=["SqlSession"]).SqlSession(db)
+        run(platform, session,
+            "CREATE TABLE t",
+            "INSERT INTO t (id, v) VALUES (1, 'old')",
+            "BEGIN",
+            "UPDATE t SET v = 'pending' WHERE id = 1")
+        rows = run(platform, other, "SELECT v FROM t WHERE id = 1")[0]
+        assert rows == [{"v": "old"}]
+        run(platform, session, "COMMIT")
+        rows = run(platform, other, "SELECT v FROM t WHERE id = 1")[0]
+        assert rows == [{"v": "pending"}]

@@ -1,0 +1,119 @@
+"""Tests for workload trace capture/replay."""
+
+import random
+
+import pytest
+
+from repro.workloads import LinkbenchConfig, LinkbenchWorkload, YcsbConfig, YcsbWorkload
+from repro.workloads.trace import (
+    TraceFormatError,
+    TraceReplayer,
+    capture_trace,
+    load_trace,
+)
+
+
+class TestTraceRoundtrip:
+    def test_ycsb_roundtrip(self, tmp_path):
+        workload = YcsbWorkload(YcsbConfig.workload_a(record_count=50),
+                                random.Random(1))
+        path = tmp_path / "ycsb.trace"
+        capture_trace(workload.next_request, 40, path)
+        replayed = load_trace(path)
+        fresh = YcsbWorkload(YcsbConfig.workload_a(record_count=50),
+                             random.Random(1))
+        original = [fresh.next_request() for _ in range(40)]
+        assert replayed == original
+
+    def test_linkbench_roundtrip(self, tmp_path):
+        workload = LinkbenchWorkload(LinkbenchConfig(node_count=30),
+                                     random.Random(2))
+        path = tmp_path / "lb.trace"
+        capture_trace(workload.next_request, 30, path)
+        replayed = load_trace(path)
+        fresh = LinkbenchWorkload(LinkbenchConfig(node_count=30),
+                                  random.Random(2))
+        original = [fresh.next_request() for _ in range(30)]
+        assert replayed == original
+
+    def test_corrupt_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"kind": "martian"}\n')
+        with pytest.raises(TraceFormatError, match="line 1"):
+            load_trace(path)
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_empty_lines_skipped(self, tmp_path):
+        workload = YcsbWorkload(YcsbConfig.workload_a(record_count=10),
+                                random.Random(3))
+        path = tmp_path / "gaps.trace"
+        capture_trace(workload.next_request, 3, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == 3
+
+
+class TestReplayer:
+    def make_requests(self, count=5):
+        workload = YcsbWorkload(YcsbConfig.workload_a(record_count=10),
+                                random.Random(4))
+        return [workload.next_request() for _ in range(count)]
+
+    def test_replays_in_order(self):
+        requests = self.make_requests()
+        replayer = TraceReplayer(requests)
+        assert [replayer.next_request() for _ in range(5)] == requests
+
+    def test_exhaustion_raises(self):
+        replayer = TraceReplayer(self.make_requests(2))
+        replayer.next_request()
+        replayer.next_request()
+        with pytest.raises(TraceFormatError, match="exhausted"):
+            replayer.next_request()
+
+    def test_repeat_wraps(self):
+        requests = self.make_requests(2)
+        replayer = TraceReplayer(requests, repeat=True)
+        drawn = [replayer.next_request() for _ in range(5)]
+        assert drawn == [requests[0], requests[1], requests[0],
+                         requests[1], requests[0]]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceReplayer([])
+
+
+class TestTraceDrivenRun:
+    def test_same_trace_two_configurations(self):
+        """The fairness property: identical request streams against two
+        log devices, compared apples-to-apples."""
+        from repro.bench.drivers import run_ycsb_on_lsm
+        from repro.db.lsm import LSMTree, MemoryTableStorage
+        from repro.ssd import DC_SSD, ULL_SSD
+        from repro.wal import BlockWAL
+        from tests.helpers import Platform
+
+        source = YcsbWorkload(YcsbConfig.workload_a(record_count=40),
+                              random.Random(5))
+        requests = ([r for r in source.load_requests()]
+                    + [source.next_request() for _ in range(100)])
+        throughputs = {}
+        for profile in (DC_SSD, ULL_SSD):
+            platform = Platform(seed=6)
+            device = platform.add_block_ssd(profile)
+            wal = BlockWAL(platform.engine, device, platform.cpu,
+                           area_pages=4096)
+            tree = LSMTree(platform.engine, wal,
+                           MemoryTableStorage(platform.engine),
+                           memtable_bytes=1 << 20)
+            replayer = TraceReplayer(requests)
+
+            class _TraceWorkload:
+                next_request = staticmethod(replayer.next_request)
+
+            result = run_ycsb_on_lsm(platform.engine, tree, _TraceWorkload(),
+                                     total_ops=100 + len(requests) - 100,
+                                     clients=2, load_first=False)
+            throughputs[profile.name] = result.throughput
+        assert throughputs["ULL-SSD"] > throughputs["DC-SSD"]

@@ -1,0 +1,198 @@
+"""Tests for the workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    LinkbenchConfig,
+    LinkbenchOp,
+    LinkbenchWorkload,
+    ScrambledZipfian,
+    YcsbConfig,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+from repro.workloads.linkbench import WRITE_OPS
+from repro.workloads.ycsb import YcsbOp
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 100
+
+    def test_skew_favors_low_ranks(self):
+        gen = ZipfianGenerator(1000, random.Random(2))
+        counts = Counter(gen.next() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 / 20000 > 0.3  # heavy head
+
+    def test_determinism(self):
+        a = ZipfianGenerator(50, random.Random(3))
+        b = ZipfianGenerator(50, random.Random(3))
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_scrambled_spreads_hot_keys(self):
+        gen = ScrambledZipfian(1000, random.Random(4))
+        counts = Counter(gen.next() for _ in range(20000))
+        hottest = counts.most_common(10)
+        keys = [k for k, _ in hottest]
+        # Hot keys are scattered, not clustered at rank 0..9.
+        assert max(keys) > 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, random.Random(0), theta=1.5)
+
+    @given(st.integers(1, 500), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_range(self, items, seed):
+        gen = ZipfianGenerator(items, random.Random(seed))
+        for _ in range(50):
+            assert 0 <= gen.next() < items
+
+
+class TestYcsb:
+    def test_workload_a_mix(self):
+        workload = YcsbWorkload(YcsbConfig.workload_a(), random.Random(5))
+        ops = Counter(workload.next_request().op for _ in range(4000))
+        read_share = ops[YcsbOp.READ] / 4000
+        assert 0.45 < read_share < 0.55
+        assert ops[YcsbOp.UPDATE] + ops[YcsbOp.READ] == 4000
+
+    def test_payload_size_respected(self):
+        for size in (8, 128, 1024, 4096):
+            workload = YcsbWorkload(YcsbConfig.workload_a(payload_bytes=size),
+                                    random.Random(6))
+            request = workload.next_request()
+            while request.op is not YcsbOp.UPDATE:
+                request = workload.next_request()
+            assert len(request.value) == size
+
+    def test_load_phase_covers_all_records(self):
+        config = YcsbConfig.workload_a(record_count=100)
+        workload = YcsbWorkload(config, random.Random(7))
+        loads = list(workload.load_requests())
+        assert len(loads) == 100
+        assert len({r.key for r in loads}) == 100
+        assert all(r.op is YcsbOp.INSERT for r in loads)
+
+    def test_invalid_proportions_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            YcsbConfig(read_proportion=0.9, update_proportion=0.9)
+
+    def test_workload_b_read_mostly(self):
+        workload = YcsbWorkload(YcsbConfig.workload_b(), random.Random(8))
+        ops = Counter(workload.next_request().op for _ in range(2000))
+        assert ops[YcsbOp.READ] / 2000 > 0.9
+
+
+class TestLinkbench:
+    def test_mix_is_about_30_percent_writes(self):
+        config = LinkbenchConfig()
+        # The configured mix itself.
+        assert 0.25 < config.write_fraction < 0.35
+        workload = LinkbenchWorkload(config, random.Random(9))
+        ops = Counter(workload.next_request().op for _ in range(5000))
+        writes = sum(ops[op] for op in WRITE_OPS)
+        assert 0.25 < writes / 5000 < 0.36
+
+    def test_get_link_list_dominates(self):
+        workload = LinkbenchWorkload(LinkbenchConfig(), random.Random(10))
+        ops = Counter(workload.next_request().op for _ in range(5000))
+        assert ops[LinkbenchOp.GET_LINK_LIST] == max(ops.values())
+
+    def test_add_node_allocates_fresh_ids(self):
+        workload = LinkbenchWorkload(LinkbenchConfig(node_count=10), random.Random(11))
+        seen = set()
+        for _ in range(500):
+            request = workload.next_request()
+            if request.op is LinkbenchOp.ADD_NODE:
+                assert request.node_id >= 10
+                assert request.node_id not in seen
+                seen.add(request.node_id)
+
+    def test_load_phase_shape(self):
+        config = LinkbenchConfig(node_count=20)
+        workload = LinkbenchWorkload(config, random.Random(12))
+        loads = list(workload.load_requests(links_per_node=3))
+        nodes = [r for r in loads if r.op is LinkbenchOp.ADD_NODE]
+        links = [r for r in loads if r.op is LinkbenchOp.ADD_LINK]
+        assert len(nodes) == 20
+        assert len(links) == 60
+
+    def test_payload_sizes(self):
+        config = LinkbenchConfig(node_payload_bytes=64, link_payload_bytes=32)
+        workload = LinkbenchWorkload(config, random.Random(13))
+        for _ in range(200):
+            request = workload.next_request()
+            if request.op is LinkbenchOp.ADD_NODE:
+                assert len(request.payload) == 64
+            elif request.op is LinkbenchOp.ADD_LINK:
+                assert len(request.payload) == 32
+
+
+class TestYcsbExtendedWorkloads:
+    def test_workload_d_latest_distribution(self):
+        workload = YcsbWorkload(YcsbConfig.workload_d(record_count=1000),
+                                random.Random(20))
+        # Issue some inserts + reads; reads must skew to fresh keys.
+        read_indexes = []
+        for _ in range(4000):
+            request = workload.next_request()
+            if request.op is YcsbOp.READ:
+                read_indexes.append(int(request.key.removeprefix("user")))
+        newest_cutoff = workload._insert_cursor - 100
+        fresh_fraction = sum(i >= newest_cutoff - 100 for i in read_indexes) \
+            / len(read_indexes)
+        assert fresh_fraction > 0.3  # heavy recency skew
+
+    def test_workload_e_scan_heavy(self):
+        workload = YcsbWorkload(YcsbConfig.workload_e(), random.Random(21))
+        ops = Counter(workload.next_request().op for _ in range(2000))
+        assert ops[YcsbOp.SCAN] / 2000 > 0.9
+        assert ops[YcsbOp.INSERT] > 0
+
+    def test_workload_f_read_modify_write(self):
+        workload = YcsbWorkload(YcsbConfig.workload_f(), random.Random(22))
+        ops = Counter(workload.next_request().op for _ in range(2000))
+        assert 0.4 < ops[YcsbOp.READ_MODIFY_WRITE] / 2000 < 0.6
+        rmw = next(r for r in (workload.next_request() for _ in range(50))
+                   if r.op is YcsbOp.READ_MODIFY_WRITE)
+        assert rmw.value is not None
+
+    def test_uniform_distribution(self):
+        config = YcsbConfig(record_count=1000, read_proportion=1.0,
+                            update_proportion=0.0, distribution="uniform")
+        workload = YcsbWorkload(config, random.Random(23))
+        counts = Counter(int(workload.next_request().key.removeprefix("user"))
+                         for _ in range(5000))
+        # No single key dominates under uniform selection.
+        assert counts.most_common(1)[0][1] < 30
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            YcsbConfig(distribution="martian")
+
+    def test_rmw_runs_on_lsm_driver(self):
+        from repro.bench.drivers import run_ycsb_on_lsm
+        from repro.db.lsm import LSMTree, MemoryTableStorage
+        from repro.ssd import ULL_SSD
+        from repro.wal import BlockWAL
+        from tests.helpers import Platform
+
+        platform = Platform(seed=24)
+        device = platform.add_block_ssd(ULL_SSD)
+        wal = BlockWAL(platform.engine, device, platform.cpu, area_pages=4096)
+        tree = LSMTree(platform.engine, wal, MemoryTableStorage(platform.engine))
+        workload = YcsbWorkload(YcsbConfig.workload_f(record_count=50),
+                                random.Random(25))
+        result = run_ycsb_on_lsm(platform.engine, tree, workload, 100, clients=2)
+        assert result.operations == 100
