@@ -1,4 +1,11 @@
-"""Ablation: commit tail latency, conventional sync WAL vs BA-WAL (§IV-A)."""
+"""Ablation: commit tail latency, conventional sync WAL vs BA-WAL (§IV-A).
+
+The percentiles reported (and asserted on) here are produced by the
+observability layer's bucketed latency histograms
+(:class:`repro.bench.metrics.HistogramRecorder`), not an exact sample
+reservoir — the assertions' margins comfortably cover the ~7.5% bucket
+width.
+"""
 
 import pytest
 
@@ -38,3 +45,10 @@ class TestTailLatency:
     def test_ba_tail_is_flat(self, ablation):
         ba = ablation["BA-WAL"]
         assert ba["p99"] < 5 * ba["p50"]
+
+    def test_summaries_are_histogram_sourced(self, ablation):
+        # The histogram recorder also reports p95; the exact reservoir
+        # recorder never did — its presence proves the sourcing.
+        for summary in ablation.values():
+            assert "p95" in summary
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]

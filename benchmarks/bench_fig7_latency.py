@@ -9,7 +9,15 @@ import pytest
 
 from repro.bench import targets
 from repro.bench.experiments import run_fig7
-from repro.bench.tables import format_series, format_size, format_us
+from repro.bench.tables import format_series, format_size, format_table, format_us
+
+
+def _dist_table(title: str, dists: dict) -> str:
+    """Per-series distribution summary (histogram-sourced percentiles)."""
+    rows = [(name, format_us(s["p50"]), format_us(s["p99"]),
+             format_us(s["p999"]), format_us(s["max"]))
+            for name, s in dists.items()]
+    return format_table(title, ["series", "p50", "p99", "p999", "max"], rows)
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +43,29 @@ def bench_fig7_latency(benchmark, report, fig7):
         "Fig. 7(b): write latency (QD1)", "size", fig7["write"],
         x_format=format_size, y_format=format_us,
     ))
+    report("fig7a_read_distribution", _dist_table(
+        "Fig. 7(a) distributions across the size sweep", fig7["read_dist"]))
+    report("fig7b_write_distribution", _dist_table(
+        "Fig. 7(b) distributions across the size sweep", fig7["write_dist"]))
+
+
+class TestFig7Distributions:
+    """The distribution summaries come from the obs histogram module."""
+
+    def test_every_series_has_a_distribution(self, fig7):
+        assert set(fig7["read_dist"]) == set(fig7["read"])
+        assert set(fig7["write_dist"]) == set(fig7["write"])
+
+    def test_percentiles_bracket_the_means(self, fig7):
+        for panel, dist_panel in (("read", "read_dist"), ("write", "write_dist")):
+            for name, summary in fig7[dist_panel].items():
+                means = fig7[panel][name]
+                assert summary["p50"] <= summary["p99"] <= summary["p999"]
+                assert summary["p999"] <= summary["max"]
+                # The sweep's largest per-size mean cannot exceed the max
+                # single-op latency, nor undercut the histogram's p50 floor.
+                assert max(means.values()) <= summary["max"] * 1.0001
+                assert summary["max"] >= min(means.values())
 
 
 class TestFig7ReadShape:

@@ -213,13 +213,17 @@ def run_tail_latency_ablation(commits: int = 1500,
     ... tail latencies' — the conventional path's tail grows whenever a
     commit lands behind NAND-program-induced device jitter or a segment
     flush, while BA commits stay flat.
+
+    Percentiles come from the observability layer's bucketed histograms
+    (:class:`repro.bench.metrics.HistogramRecorder`), the same machinery
+    ``repro trace`` reports.
     """
-    from repro.bench.metrics import LatencyRecorder
+    from repro.bench.metrics import HistogramRecorder
 
     def run(wal_factory, platform) -> dict:
         engine = platform.engine
         wal = wal_factory()
-        recorder = LatencyRecorder()
+        recorder = HistogramRecorder()
 
         def producer() -> Iterator:
             for _ in range(commits):

@@ -60,23 +60,35 @@ def run_table1() -> dict:
 # -- Fig. 7: latency ------------------------------------------------------------------
 
 def run_fig7(iterations: int = 4) -> dict:
-    """Read and write latency vs request size for every access path."""
+    """Read and write latency vs request size for every access path.
+
+    Besides the per-size means (``"read"``/``"write"``), every series'
+    individual samples land in a :class:`repro.obs.LatencyHistogram`;
+    the ``"read_dist"``/``"write_dist"`` keys carry each series' summary
+    (mean, p50/p90/p95/p99/p999, max across the whole size sweep).
+    """
+    from repro.obs import LatencyHistogram
+
     read_series: dict[str, dict[int, float]] = {}
     write_series: dict[str, dict[int, float]] = {}
+    read_hist: dict[str, LatencyHistogram] = {}
+    write_hist: dict[str, LatencyHistogram] = {}
+
+    def sweep(series, hists, name, engine, make_op, sizes) -> None:
+        hists[name] = LatencyHistogram()
+        series[name] = latency_sweep(engine, make_op, sizes, iterations,
+                                     histogram=hists[name])
 
     for profile in (DC_SSD, ULL_SSD):
         platform = Platform(seed=2)
         device = platform.add_block_ssd(profile)
-        read_series[f"{profile.name} block read"] = latency_sweep(
-            platform.engine, lambda size, _i: device.read(0, size),
-            READ_SIZES, iterations,
-        )
+        sweep(read_series, read_hist, f"{profile.name} block read",
+              platform.engine, lambda size, _i: device.read(0, size), READ_SIZES)
         platform = Platform(seed=3)
         device = platform.add_block_ssd(profile)
-        write_series[f"{profile.name} block write"] = latency_sweep(
-            platform.engine, lambda size, _i: device.write(0, bytes(size)),
-            WRITE_SIZES, iterations,
-        )
+        sweep(write_series, write_hist, f"{profile.name} block write",
+              platform.engine, lambda size, _i: device.write(0, bytes(size)),
+              WRITE_SIZES)
 
     # MMIO read and read-DMA on the 2B-SSD byte path.
     platform = Platform(seed=4)
@@ -88,28 +100,56 @@ def run_fig7(iterations: int = 4) -> dict:
         return entry
 
     entry = engine.run_process(setup())
-    read_series["2B-SSD MMIO read"] = latency_sweep(
-        engine, lambda size, _i: api.mmio_read(entry, 0, size),
-        READ_SIZES, iterations,
-    )
+    sweep(read_series, read_hist, "2B-SSD MMIO read", engine,
+          lambda size, _i: api.mmio_read(entry, 0, size), READ_SIZES)
     host_buffer = ByteRegion("dma-dst", PAGE)
-    read_series["2B-SSD read DMA"] = latency_sweep(
-        engine, lambda size, _i: api.ba_read_dma(0, host_buffer, 0, size),
-        READ_SIZES, iterations,
-    )
+    sweep(read_series, read_hist, "2B-SSD read DMA", engine,
+          lambda size, _i: api.ba_read_dma(0, host_buffer, 0, size), READ_SIZES)
 
     # MMIO write (plain and persistent) to the BA-buffer.
     platform = Platform(seed=5)
     engine, cpu, region = platform.engine, platform.cpu, platform.device.ba_dram
-    write_series["2B-SSD MMIO write"] = latency_sweep(
-        engine, lambda size, _i: cpu.mmio_write(region, 0, bytes(size)),
-        WRITE_SIZES, iterations,
-    )
-    write_series["2B-SSD persistent MMIO"] = latency_sweep(
-        engine, lambda size, _i: cpu.persistent_mmio_write(region, 0, bytes(size)),
-        WRITE_SIZES, iterations,
-    )
-    return {"read": read_series, "write": write_series}
+    sweep(write_series, write_hist, "2B-SSD MMIO write", engine,
+          lambda size, _i: cpu.mmio_write(region, 0, bytes(size)), WRITE_SIZES)
+    sweep(write_series, write_hist, "2B-SSD persistent MMIO", engine,
+          lambda size, _i: cpu.persistent_mmio_write(region, 0, bytes(size)),
+          WRITE_SIZES)
+    return {
+        "read": read_series,
+        "write": write_series,
+        "read_dist": {name: h.summary() for name, h in read_hist.items()},
+        "write_dist": {name: h.summary() for name, h in write_hist.items()},
+    }
+
+
+# -- Traced workload (the ``repro trace`` subcommand) ---------------------------------
+
+def run_trace_workload(ops: int = 2000, seed: int = 40,
+                       payload_bytes: int = 128, clients: int = 4) -> dict:
+    """A small YCSB-A run on the Redis-like store over BA-WAL, traced.
+
+    Tracing is enabled for the run's duration with a private tracer, so
+    every instrumented layer (host CPU, PCIe link, NVMe, BA core, FTL,
+    NAND, WAL) contributes span histograms and counters.  Returns the
+    ``platform``, the ``tracer``, and the workload's ``result`` — the
+    ``repro trace`` subcommand and the exporter round-trip test build on
+    this.
+    """
+    from repro.obs.tracing import Tracer, activated
+
+    platform = Platform(seed=seed)
+    tracer = Tracer()
+    with activated(tracer):
+        wal = BaWAL(platform.engine, platform.api, area_pages=32768)
+        platform.engine.run_process(wal.start())
+        store = MemKV(platform.engine, wal)
+        workload = YcsbWorkload(
+            YcsbConfig.workload_a(payload_bytes=payload_bytes, record_count=400),
+            platform.rng.fork("trace-ycsb").stream("ops"),
+        )
+        result = run_ycsb_on_memkv(platform.engine, store, workload, ops,
+                                   clients=clients)
+    return {"platform": platform, "tracer": tracer, "result": result}
 
 
 # -- Fig. 8: bandwidth ------------------------------------------------------------------

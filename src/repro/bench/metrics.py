@@ -1,15 +1,24 @@
 """Latency distribution recording: percentiles and tail behaviour.
 
 §IV-A claims BA-WAL "optimizes both tail latencies and SSD lifespan";
-the WAF ablation covers lifespan, and :class:`LatencyRecorder` covers the
-tail: an exact reservoir of samples with percentile queries, used by the
-tail-latency ablation bench.
+the WAF ablation covers lifespan, and two recorders cover the tail:
+
+* :class:`LatencyRecorder` — an exact reservoir of samples; O(n) memory,
+  exact percentiles.  Good for unit tests and small sweeps.
+* :class:`HistogramRecorder` — the same ``record``/``percentile``/
+  ``summary`` interface backed by :class:`repro.obs.LatencyHistogram`:
+  O(1) memory per sample and mergeable snapshots.  The benchmark drivers
+  use this one, so their reported percentiles come from the observability
+  layer's bucketed histograms.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.obs.histogram import HistogramSnapshot, LatencyHistogram
 
 
 @dataclass
@@ -73,3 +82,44 @@ class LatencyRecorder:
             "p999": self.percentile(99.9),
             "max": self.maximum,
         }
+
+
+class HistogramRecorder:
+    """Drop-in latency recorder backed by a bucketed histogram.
+
+    Same surface as :class:`LatencyRecorder` (``record``, ``percentile``,
+    ``mean``, ``maximum``, ``summary``), but samples land in a
+    :class:`~repro.obs.histogram.LatencyHistogram`, so percentiles are
+    interpolated within ~7.5%-wide geometric buckets (exact ``min``/
+    ``max``/``mean`` still ride along) and ``snapshot()`` is available
+    for merging and export.
+    """
+
+    __slots__ = ("histogram",)
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.histogram = LatencyHistogram(bounds)
+
+    def record(self, latency: float) -> None:
+        self.histogram.record(latency)
+
+    def __len__(self) -> int:
+        return len(self.histogram)
+
+    def percentile(self, pct: float) -> float:
+        return self.histogram.percentile(pct)
+
+    @property
+    def mean(self) -> float:
+        return self.histogram.mean
+
+    @property
+    def maximum(self) -> float:
+        return self.histogram.maximum
+
+    def snapshot(self) -> HistogramSnapshot:
+        return self.histogram.snapshot()
+
+    def summary(self) -> dict[str, float]:
+        """Same keys as :meth:`LatencyRecorder.summary` (plus ``p95``)."""
+        return self.histogram.summary()

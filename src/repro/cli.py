@@ -9,6 +9,7 @@
     python -m repro fig9 [--quick]       # application throughput (3 panels)
     python -m repro fig10                # heterogeneous-memory comparison
     python -m repro ablations            # all five+ ablation studies
+    python -m repro trace [--json P]     # traced workload, per-span latencies
 """
 
 from __future__ import annotations
@@ -129,6 +130,44 @@ def _cmd_ablations(_args) -> None:
                        ]))
 
 
+def _cmd_trace(args) -> None:
+    """Run a traced YCSB-A workload and print per-span latency tables."""
+    import pathlib
+
+    from repro.obs.export import snapshot_to_csv, snapshot_to_json
+    from repro.observability import tracing_stats
+
+    ops = 500 if args.quick else args.ops
+    run = ex.run_trace_workload(ops=ops, seed=args.seed)
+    section = tracing_stats(run["tracer"])
+    rows = [
+        (name, payload["count"], format_us(payload["mean"]),
+         format_us(payload["p50"]), format_us(payload["p95"]),
+         format_us(payload["p99"]), format_us(payload["p999"]),
+         format_us(payload["max"]))
+        for name, payload in section["histograms"].items()
+    ]
+    print(format_table(
+        f"Per-span latency: YCSB-A on BA-WAL ({ops} ops, seed {args.seed})",
+        ["span", "samples", "mean", "p50", "p95", "p99", "p999", "max"], rows,
+    ))
+    if section["counters"]:
+        print()
+        print(format_table("Counters", ["counter", "value"],
+                           sorted(section["counters"].items())))
+    result = run["result"]
+    print()
+    print(f"operations: {result.operations}  "
+          f"throughput: {result.throughput:,.0f} ops/s  "
+          f"simulated: {result.elapsed_seconds * 1e3:.2f} ms")
+    if args.json:
+        pathlib.Path(args.json).write_text(snapshot_to_json(section))
+        print(f"wrote {args.json}")
+    if args.csv:
+        pathlib.Path(args.csv).write_text(snapshot_to_csv(section))
+        print(f"wrote {args.csv}")
+
+
 def _cmd_report(args) -> None:
     """Run every experiment and write a single markdown report."""
     import contextlib
@@ -170,6 +209,7 @@ COMMANDS = {
     "fig9": (_cmd_fig9, "run the Fig. 9 application benchmarks"),
     "fig10": (_cmd_fig10, "run the Fig. 10 comparison"),
     "ablations": (_cmd_ablations, "run every ablation study"),
+    "trace": (_cmd_trace, "run a traced workload; dump per-span latencies"),
     "report": (_cmd_report, "run everything and write a markdown report"),
 }
 
@@ -188,6 +228,15 @@ def main(argv: list[str] | None = None) -> int:
         if name == "report":
             cmd.add_argument("--output", default="REPORT.md",
                              help="report file path (default REPORT.md)")
+        if name == "trace":
+            cmd.add_argument("--ops", type=int, default=2000,
+                             help="YCSB operations to run (default 2000)")
+            cmd.add_argument("--seed", type=int, default=40,
+                             help="platform seed (default 40)")
+            cmd.add_argument("--json", metavar="PATH",
+                             help="also export the tracing snapshot as JSON")
+            cmd.add_argument("--csv", metavar="PATH",
+                             help="also export per-span summaries as CSV")
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available experiments:")

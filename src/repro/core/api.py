@@ -19,6 +19,7 @@ from repro.core.device import TwoBSSD
 from repro.core.mapping_table import BaMappingEntry
 from repro.host.cpu import HostCPU
 from repro.host.memory import ByteRegion
+from repro.obs import tracing
 from repro.sim import Engine
 from repro.sim.engine import Event
 
@@ -42,35 +43,42 @@ class TwoBApiClient:
 
     def ba_pin(self, entry_id: int, offset: int, lba: int, length: int) -> Iterator[Event]:
         """Process: BA_PIN(EID, offset, LBA, length) — load + pin + map."""
-        yield self.engine.timeout(self.params.ioctl_latency)
-        entry = yield self.engine.process(
-            self.device.ba_manager.pin(entry_id, offset, lba, length)
-        )
+        with tracing.span("core.api.ba_pin", self.engine):
+            yield self.engine.timeout(self.params.ioctl_latency)
+            entry = yield self.engine.process(
+                self.device.ba_manager.pin(entry_id, offset, lba, length)
+            )
         self._lines_since_sync.setdefault(entry_id, 0)
         return entry
 
     def ba_flush(self, entry_id: int) -> Iterator[Event]:
         """Process: BA_FLUSH(EID) — write buffer contents to NAND, unmap."""
-        yield self.engine.timeout(self.params.ioctl_latency)
-        entry = yield self.engine.process(self.device.ba_manager.flush(entry_id))
+        with tracing.span("core.api.ba_flush", self.engine):
+            yield self.engine.timeout(self.params.ioctl_latency)
+            entry = yield self.engine.process(self.device.ba_manager.flush(entry_id))
         self._lines_since_sync.pop(entry_id, None)
         return entry
 
     def ba_get_entry_info(self, entry_id: int) -> Iterator[Event]:
         """Process: BA_GET_ENTRY_INFO(EID) — mapping details for one entry."""
+        if tracing.enabled:
+            _t0 = self.engine.now
         yield self.engine.timeout(self.params.entry_info_latency)
+        if tracing.enabled:
+            tracing.observe("core.api.ba_get_entry_info", self.engine.now - _t0)
         return self.device.ba_manager.get_entry_info(entry_id)
 
     def ba_read_dma(self, entry_id: int, dst: ByteRegion, dst_offset: int,
                     length: int) -> Iterator[Event]:
         """Process: BA_READ_DMA(EID, dst, length) — engine-assisted bulk read,
         completed by a device interrupt."""
-        yield self.engine.timeout(self.params.ioctl_latency)
-        entry = self.device.ba_manager.get_entry_info(entry_id)
-        copied = yield self.engine.process(
-            self.device.read_dma.copy(entry, dst, dst_offset, length)
-        )
-        yield self.engine.timeout(self.params.interrupt_latency)
+        with tracing.span("core.api.ba_read_dma", self.engine):
+            yield self.engine.timeout(self.params.ioctl_latency)
+            entry = self.device.ba_manager.get_entry_info(entry_id)
+            copied = yield self.engine.process(
+                self.device.read_dma.copy(entry, dst, dst_offset, length)
+            )
+            yield self.engine.timeout(self.params.interrupt_latency)
         return copied
 
     def trim(self, lpn: int, npages: int) -> Iterator[Event]:
@@ -91,12 +99,16 @@ class TwoBApiClient:
         Three sub-steps per §III-C: look up the entry (driver-cached),
         clflush+mfence its written lines, then the write-verify read.
         """
+        if tracing.enabled:
+            _t0 = self.engine.now
         entry = yield self.engine.process(self.ba_get_entry_info(entry_id))
         yield self.engine.process(
             self.cpu.wc_flush(self.region, entry.offset, entry.length)
         )
         lines = self._lines_since_sync.get(entry_id, 0)
         yield self.engine.process(self.cpu.write_verify_read(lines))
+        if tracing.enabled:
+            tracing.observe("core.api.ba_sync", self.engine.now - _t0)
         self._lines_since_sync[entry_id] = 0
         return entry
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.obs import tracing
 from repro.sim import Engine, Resource, Store
 from repro.sim.engine import Event
 from repro.nand.array import FlashArray
@@ -185,18 +186,19 @@ class PageMapFTL:
         self._check_lpn(lpn)
         if len(data) > self.page_size:
             raise ValueError(f"page write of {len(data)} bytes exceeds {self.page_size}")
-        free = self.total_free_blocks
-        if free < self._bg_watermark:
-            self._kick_background_gc()
-        if free < self._gc_low_watermark:
-            self.stats.foreground_gc_stalls += 1
-            yield self.engine.process(self._collect_garbage())
-        ppn = self._allocate_page()
-        yield self.engine.process(self.flash.program_page(ppn, data))
-        previous = self.map.bind(lpn, ppn)
-        self._mark_valid(ppn)
-        if previous is not None:
-            self._invalidate(previous)
+        with tracing.span("ftl.pagemap.write", self.engine):
+            free = self.total_free_blocks
+            if free < self._bg_watermark:
+                self._kick_background_gc()
+            if free < self._gc_low_watermark:
+                self.stats.foreground_gc_stalls += 1
+                yield self.engine.process(self._collect_garbage())
+            ppn = self._allocate_page()
+            yield self.engine.process(self.flash.program_page(ppn, data))
+            previous = self.map.bind(lpn, ppn)
+            self._mark_valid(ppn)
+            if previous is not None:
+                self._invalidate(previous)
         self.stats.host_pages_written += 1
 
     def read(self, lpn: int) -> Iterator[Event]:
@@ -207,13 +209,16 @@ class PageMapFTL:
         location, mirroring the read-retry path of production firmware.
         """
         self._check_lpn(lpn)
-        for _attempt in range(4):
-            ppn = self.map.lookup(lpn)
-            if ppn is None:
-                return bytes(self.page_size)
-            data = yield self.engine.process(self.flash.read_page(ppn))
-            if self.map.lookup(lpn) == ppn:
-                return data
+        with tracing.span("ftl.pagemap.read", self.engine):
+            for _attempt in range(4):
+                if tracing.enabled:
+                    tracing.count("ftl.pagemap.lookups")
+                ppn = self.map.lookup(lpn)
+                if ppn is None:
+                    return bytes(self.page_size)
+                data = yield self.engine.process(self.flash.read_page(ppn))
+                if self.map.lookup(lpn) == ppn:
+                    return data
         raise FtlCapacityError(f"read of logical page {lpn} kept racing with GC")
 
     def trim(self, lpn: int) -> None:

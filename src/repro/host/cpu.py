@@ -14,6 +14,7 @@ from typing import Iterator, Optional
 from repro.host.memory import ByteRegion, PersistentMemoryRegion
 from repro.host.params import HostParams
 from repro.host.wc import WriteCombiningBuffer
+from repro.obs import tracing
 from repro.pcie.link import PcieLink
 from repro.sim import Engine
 from repro.sim.engine import Event
@@ -47,19 +48,30 @@ class HostCPU:
 
     def wc_store(self, region: ByteRegion, offset: int, data: bytes) -> Iterator[Event]:
         """Process: stage stores into the WC buffer (no flush — not yet durable)."""
+        # Hottest path in the simulator: guard with the bare flag rather
+        # than a span object so disabled-mode cost is one bool check.
+        if tracing.enabled:
+            _t0 = self.engine.now
         lines, evicted = self.wc.store(region, offset, data)
-        cost = lines * self.params.wc_store_per_line + evicted * self.params.wc_evict_stall
+        cost = (lines * self.params.wc_store_per_line
+                + evicted * self.params.wc_evict_stall)
         if cost:
             yield self.engine.timeout(cost)
+        if tracing.enabled:
+            tracing.observe("host.cpu.wc_store", self.engine.now - _t0)
         return lines
 
     def wc_flush(self, region: ByteRegion, offset: int = 0,
                  nbytes: int | None = None) -> Iterator[Event]:
         """Process: ``clflush`` the staged lines of a range, then ``mfence``."""
+        if tracing.enabled:
+            _t0 = self.engine.now
         flushed = self.wc.flush(region, offset, nbytes)
         yield self.engine.timeout(
             flushed * self.params.clflush_per_line + self.params.mfence
         )
+        if tracing.enabled:
+            tracing.observe("host.cpu.wc_flush", self.engine.now - _t0)
         return flushed
 
     def mmio_write(self, region: ByteRegion, offset: int, data: bytes) -> Iterator[Event]:
@@ -80,8 +92,12 @@ class HostCPU:
         landed in device memory (PCIe ordering), making those writes
         durable on a power-protected device.
         """
+        if tracing.enabled:
+            _t0 = self.engine.now
         yield self.engine.process(self.link.non_posted_read(0))
         yield self.engine.timeout(self.params.wvr_cost(lines))
+        if tracing.enabled:
+            tracing.observe("host.cpu.write_verify_read", self.engine.now - _t0)
         return None
 
     def persistent_mmio_write(self, region: ByteRegion, offset: int,
@@ -99,11 +115,15 @@ class HostCPU:
         Own staged WC lines covering the range are flushed first so the
         read observes this CPU's writes.
         """
+        if tracing.enabled:
+            _t0 = self.engine.now
         if self.wc.dirty_lines(region):
             yield self.engine.process(self.wc_flush(region, offset, nbytes))
         yield self.engine.process(self.link.non_posted_read(0))
         if nbytes:
             yield self.engine.timeout(self.link.mmio_read_latency(nbytes))
+        if tracing.enabled:
+            tracing.observe("host.cpu.mmio_read", self.engine.now - _t0)
         return region.read(offset, nbytes)
 
     # -- emulated persistent memory (Fig. 10) -----------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.obs import tracing
 from repro.sim import Engine, Resource, RngStreams
 from repro.sim.engine import Event
 from repro.nand.geometry import NandGeometry
@@ -170,6 +171,8 @@ class FlashArray:
             errors = raw_bit_errors(self.ecc, ppn, state.erase_count,
                                     self.timing.endurance_cycles, self._ecc_seed)
             retries = retries_needed(self.ecc, errors)  # may raise UECC
+        if tracing.enabled:
+            _t0 = self.engine.now
         die_res = self._die_resource(addr.channel, addr.die)
         die_req = die_res.request()
         yield die_req
@@ -187,6 +190,8 @@ class FlashArray:
             die_res.release(die_req)
         self.stats.page_reads += 1
         self.stats.read_retries += retries
+        if tracing.enabled:
+            tracing.observe("nand.array.read", self.engine.now - _t0)
         return self.peek(ppn)
 
     def program_page(self, ppn: int, data: bytes) -> Iterator[Event]:
@@ -197,6 +202,8 @@ class FlashArray:
             )
         addr = self.address(ppn)
         state = self._block_state(addr.channel, addr.die, addr.block)
+        if tracing.enabled:
+            _t0 = self.engine.now
         die_res = self._die_resource(addr.channel, addr.die)
         die_req = die_res.request()
         yield die_req
@@ -230,6 +237,8 @@ class FlashArray:
         state.programmed.add(addr.page)
         state.write_pointer = addr.page + 1
         self.stats.page_programs += 1
+        if tracing.enabled:
+            tracing.observe("nand.array.program", self.engine.now - _t0)
 
     def erase_block(self, channel: int, die: int, block: int) -> Iterator[Event]:
         """Process: erase a whole block, resetting its write pointer."""
@@ -240,6 +249,8 @@ class FlashArray:
                 f"block ({channel},{die},{block}) worn out after "
                 f"{state.erase_count} erase cycles"
             )
+        if tracing.enabled:
+            _t0 = self.engine.now
         die_res = self._die_resource(channel, die)
         die_req = die_res.request()
         yield die_req
@@ -254,3 +265,5 @@ class FlashArray:
         state.write_pointer = 0
         state.erase_count += 1
         self.stats.block_erases += 1
+        if tracing.enabled:
+            tracing.observe("nand.array.erase", self.engine.now - _t0)

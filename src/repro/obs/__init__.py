@@ -1,0 +1,42 @@
+"""Layered tracing and latency-histogram observability.
+
+The paper's whole argument is a set of *measured* latency and bandwidth
+distributions (Figs. 7-10), so the reproduction carries its own
+instrument: named spans and counters, keyed by layer
+(``host.cpu.*``, ``pcie.link.*``, ``ssd.nvme.*``, ``core.api.*``,
+``ftl.pagemap.*``, ``nand.array.*``, ``wal.*``), feeding monotonic-bucket
+latency histograms with p50/p95/p99/p999 queries.
+
+Instrumentation is **off by default** and zero-cost when disabled: every
+call site checks the module-level :data:`repro.obs.tracing.enabled` flag
+once before touching the clock, so benches and tier-1 tests keep their
+timing behavior unless a run opts in via :func:`tracing.enable` or the
+``repro trace`` CLI subcommand.
+
+See ``docs/observability.md`` for span names and exporter formats.
+"""
+
+from repro.obs.histogram import DEFAULT_BOUNDS, HistogramSnapshot, LatencyHistogram
+from repro.obs.tracing import Tracer, activated, disable, enable, get_tracer, span
+from repro.obs.export import (
+    snapshot_from_csv,
+    snapshot_from_json,
+    snapshot_to_csv,
+    snapshot_to_json,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "HistogramSnapshot",
+    "LatencyHistogram",
+    "Tracer",
+    "activated",
+    "disable",
+    "enable",
+    "get_tracer",
+    "span",
+    "snapshot_from_csv",
+    "snapshot_from_json",
+    "snapshot_to_csv",
+    "snapshot_to_json",
+]

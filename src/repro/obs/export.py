@@ -1,0 +1,68 @@
+"""Exporters for tracer snapshots: JSON (lossless) and CSV (summary).
+
+The JSON form round-trips exactly — bucket counts included — via
+:func:`snapshot_from_json`.  The CSV form is the flat per-span table
+spreadsheets want: one row per histogram with count/mean/percentiles,
+one row per counter; :func:`snapshot_from_csv` reconstructs the
+summary-level view (counter totals and histogram counts survive the
+round trip, bucket detail does not).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+CSV_FIELDS = ("kind", "name", "count", "total", "min", "max",
+              "mean", "p50", "p90", "p95", "p99", "p999")
+
+
+def snapshot_to_json(snapshot: dict) -> str:
+    """Serialize a ``Tracer.snapshot()`` dict (lossless)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def snapshot_from_json(text: str) -> dict:
+    payload = json.loads(text)
+    if "histograms" not in payload or "counters" not in payload:
+        raise ValueError("not a tracer snapshot: missing histograms/counters")
+    return payload
+
+
+def snapshot_to_csv(snapshot: dict) -> str:
+    """Flatten a ``Tracer.snapshot()`` dict to one row per span/counter."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        row = {"kind": "histogram", "name": name,
+               "count": hist["count"], "total": hist["total"]}
+        for field in ("min", "max", "mean", "p50", "p90", "p95", "p99", "p999"):
+            if field in hist:
+                row[field] = repr(hist[field])
+        writer.writerow(row)
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        writer.writerow({"kind": "counter", "name": name, "count": value})
+    return buffer.getvalue()
+
+
+def snapshot_from_csv(text: str) -> dict:
+    """Parse the CSV form back into a summary-level snapshot dict."""
+    histograms: dict[str, dict] = {}
+    counters: dict[str, int] = {}
+    for row in csv.DictReader(io.StringIO(text)):
+        kind = row.get("kind")
+        if kind == "counter":
+            counters[row["name"]] = int(row["count"])
+        elif kind == "histogram":
+            hist: dict = {"count": int(row["count"]),
+                          "total": float(row["total"])}
+            for field in ("min", "max", "mean", "p50", "p90", "p95",
+                          "p99", "p999"):
+                if row.get(field):
+                    hist[field] = float(row[field])
+            histograms[row["name"]] = hist
+        else:
+            raise ValueError(f"unknown row kind {kind!r}")
+    return {"histograms": histograms, "counters": counters}

@@ -1,0 +1,239 @@
+"""Monotonic-bucket latency histograms with percentile queries.
+
+Buckets are geometric (HdrHistogram-style): 32 per decade from 1 ns to
+1000 s, so every bucket spans a ~7.5% value range and an interpolated
+percentile is never off by more than that.  Exact ``min``/``max``/``sum``
+ride along, and percentiles clamp to ``[min, max]`` — a one-sample
+histogram answers every percentile with that sample exactly.
+
+Snapshots are immutable, mergeable (same bucket boundaries sum
+bucket-wise) and JSON-serializable, which is what lets
+``collect_stats`` fold per-layer histograms into one report and the
+exporters round-trip them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+def geometric_bounds(
+    low: float = 1e-9, high: float = 1e3, per_decade: int = 32
+) -> tuple[float, ...]:
+    """Strictly increasing bucket boundaries, ``per_decade`` per decade."""
+    if low <= 0 or high <= low or per_decade < 1:
+        raise ValueError("need 0 < low < high and per_decade >= 1")
+    import math
+
+    decades = math.log10(high / low)
+    steps = int(round(decades * per_decade))
+    ratio = 10 ** (1.0 / per_decade)
+    bounds = [low * ratio ** i for i in range(steps + 1)]
+    return tuple(bounds)
+
+
+DEFAULT_BOUNDS = geometric_bounds()
+
+_PERCENTILE_KEYS = (("p50", 50.0), ("p90", 90.0), ("p95", 95.0),
+                    ("p99", 99.0), ("p999", 99.9))
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable point-in-time view of a :class:`LatencyHistogram`.
+
+    ``counts`` has ``len(bounds) + 1`` slots: an underflow bucket
+    ``[0, bounds[0])``, interior buckets ``[bounds[i-1], bounds[i])``,
+    and an overflow bucket ``[bounds[-1], inf)``.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"{len(self.bounds)} bounds need {len(self.bounds) + 1} "
+                f"buckets, got {len(self.counts)}"
+            )
+        if sum(self.counts) != self.count:
+            raise ValueError("bucket counts do not sum to the sample count")
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        return self.total / self.count
+
+    def bucket_range(self, index: int) -> tuple[float, float]:
+        """The value range ``[lo, hi)`` bucket ``index`` covers."""
+        lo = 0.0 if index == 0 else self.bounds[index - 1]
+        hi = self.bounds[index] if index < len(self.bounds) else float("inf")
+        return lo, hi
+
+    def percentile(self, pct: float) -> float:
+        """Interpolated percentile, clamped to the exact [min, max] seen."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        target = pct / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lo, hi = self.bucket_range(index)
+                if hi == float("inf"):
+                    hi = self.maximum
+                fraction = 0.0 if bucket_count == 0 else (
+                    max(target - previous, 0.0) / bucket_count
+                )
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self.minimum), self.maximum)
+        return self.maximum
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots taken with identical bucket boundaries."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def summary(self) -> dict[str, float]:
+        """The standard latency summary: mean, p50/p90/p95/p99/p999, max."""
+        result = {"mean": self.mean}
+        for key, pct in _PERCENTILE_KEYS:
+            result[key] = self.percentile(pct)
+        result["max"] = self.maximum
+        return result
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; zero buckets are elided as ``{index: count}``."""
+        payload: dict = {
+            "count": self.count,
+            "total": self.total,
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+            "num_buckets": len(self.counts),
+        }
+        if self.count:
+            payload["min"] = self.minimum
+            payload["max"] = self.maximum
+            payload.update(self.summary())
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  bounds: Optional[tuple[float, ...]] = None) -> "HistogramSnapshot":
+        bounds = bounds or DEFAULT_BOUNDS
+        counts = [0] * (len(bounds) + 1)
+        for index, value in payload.get("buckets", {}).items():
+            counts[int(index)] = int(value)
+        count = int(payload["count"])
+        return cls(
+            bounds=bounds,
+            counts=tuple(counts),
+            count=count,
+            total=float(payload["total"]),
+            minimum=float(payload.get("min", 0.0)),
+            maximum=float(payload.get("max", 0.0)),
+        )
+
+
+class LatencyHistogram:
+    """A mutable histogram of non-negative latencies (seconds)."""
+
+    __slots__ = ("bounds", "_counts", "_count", "_total", "_min", "_max")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        if self.bounds and self.bounds[0] <= 0:
+            raise ValueError("bucket boundaries must be positive")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @classmethod
+    def from_snapshot(cls, snapshot: HistogramSnapshot) -> "LatencyHistogram":
+        """A live histogram seeded with a snapshot's contents (for merging)."""
+        histogram = cls(snapshot.bounds)
+        histogram._counts = list(snapshot.counts)
+        histogram._count = snapshot.count
+        histogram._total = snapshot.total
+        histogram._min = snapshot.minimum if snapshot.count else float("inf")
+        histogram._max = snapshot.maximum
+        return histogram
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        self._counts[bisect_right(self.bounds, value)] += 1
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def bucket_index(self, value: float) -> int:
+        """Which bucket ``record(value)`` lands in."""
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        return bisect_right(self.bounds, value)
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self._counts),
+            count=self._count,
+            total=self._total,
+            minimum=self._min if self._count else 0.0,
+            maximum=self._max,
+        )
+
+    # Convenience passthroughs so a live histogram answers queries directly.
+
+    def percentile(self, pct: float) -> float:
+        return self.snapshot().percentile(pct)
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._total / self._count
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    def summary(self) -> dict[str, float]:
+        return self.snapshot().summary()

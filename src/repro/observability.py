@@ -5,13 +5,20 @@ JSON-serializable dict — host store path, PCIe transactions, per-device
 block I/O, FTL/WAF, NAND operations and wear, BA-buffer activity,
 recovery events.  The soak tests and examples use it for post-run
 inspection; it is also handy in a REPL to see where bytes actually went.
+
+When tracing is enabled (``repro.obs.tracing``), the report additionally
+carries a ``"tracing"`` section: per-span latency-histogram snapshots
+(p50/p95/p99/p999) and named counters, merged from the active tracer.
+``python -m repro trace`` and the JSON/CSV exporters build on this.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Optional
 
+from repro.obs import tracing as _tracing
+from repro.obs.tracing import Tracer
 from repro.platform import Platform
 from repro.ssd.device import BlockSSD
 
@@ -55,8 +62,38 @@ def device_stats(device: BlockSSD) -> dict:
     return stats
 
 
-def collect_stats(platform: Platform) -> dict:
-    """The full platform picture, keyed by subsystem."""
+def tracing_stats(*tracers: Tracer) -> dict:
+    """Snapshot the given tracers (default: the active one) merged into one
+    ``{"histograms": ..., "counters": ...}`` section.
+
+    Histograms sharing a span name across tracers merge bucket-wise;
+    counters sum.  The result is JSON-serializable and is what the
+    exporters in :mod:`repro.obs.export` consume.
+    """
+    from repro.obs.histogram import LatencyHistogram
+
+    sources = tracers or (_tracing.get_tracer(),)
+    merged = Tracer()
+    for tracer in sources:
+        for name, histogram in tracer.histograms.items():
+            own = merged.histograms.get(name)
+            if own is None:
+                merged.histograms[name] = histogram
+            else:
+                combined = own.snapshot().merge(histogram.snapshot())
+                merged.histograms[name] = LatencyHistogram.from_snapshot(combined)
+        for name, value in tracer.counters.items():
+            merged.count(name, value)
+    return merged.snapshot()
+
+
+def collect_stats(platform: Platform, tracer: Optional[Tracer] = None) -> dict:
+    """The full platform picture, keyed by subsystem.
+
+    Pass ``tracer`` to fold a specific tracer's histogram snapshots into
+    the report; by default the active tracer is included whenever tracing
+    is (or was) enabled and has recorded anything.
+    """
     report: dict[str, Any] = {
         "simulated_seconds": platform.engine.now,
         "host": {
@@ -78,4 +115,10 @@ def collect_stats(platform: Platform) -> dict:
             key = f"{name}#{suffix}"
             suffix += 1
         report["devices"][key] = device_stats(device)
+    if tracer is not None:
+        report["tracing"] = tracing_stats(tracer)
+    else:
+        active = _tracing.get_tracer()
+        if active.histograms or active.counters:
+            report["tracing"] = tracing_stats(active)
     return report

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
+from repro.obs import tracing
 from repro.sim import Engine
 from repro.sim.engine import Event
 from repro.sim.units import NSEC
@@ -77,6 +78,11 @@ class PcieLink:
         landing = self._down_free_at + params.propagation
         self._last_posted_landing = max(self._last_posted_landing, landing)
         self.posted_writes_issued += 1
+        if tracing.enabled:
+            tracing.count("pcie.link.posted_writes")
+            tracing.count("pcie.link.posted_bytes", nbytes)
+            tracing.observe("pcie.link.posted_write_flight",
+                            landing - self.engine.now)
         if deposit is not None:
             epoch = self._epoch
             event = Event(self.engine)
@@ -116,12 +122,13 @@ class PcieLink:
             raise ValueError(
                 f"read TLP carries 0..{self.params.read_split_bytes} bytes, got {nbytes}"
             )
-        barrier = self._last_posted_landing
-        if barrier > self.engine.now:
-            yield self.engine.timeout(barrier - self.engine.now)
-        if nbytes > 0:
-            yield self.engine.timeout(self.params.mmio_read_tlp_latency)
-            self.read_tlps_issued += 1
+        with tracing.span("pcie.link.non_posted_read", self.engine):
+            barrier = self._last_posted_landing
+            if barrier > self.engine.now:
+                yield self.engine.timeout(barrier - self.engine.now)
+            if nbytes > 0:
+                yield self.engine.timeout(self.params.mmio_read_tlp_latency)
+                self.read_tlps_issued += 1
         return None
 
     def mmio_read_latency(self, nbytes: int) -> float:

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.obs import tracing
 from repro.sim import Engine, Resource
 from repro.sim.engine import Event
 from repro.sim.units import NSEC, USEC
@@ -96,6 +97,8 @@ class NvmeQueuePair:
         Blocks while the submission queue is full (depth commands in
         flight), exactly like a host driver waiting for a free SQE.
         """
+        if tracing.enabled:
+            _t0 = self.engine.now
         slot = self._slots.request()
         yield slot
         try:
@@ -107,6 +110,9 @@ class NvmeQueuePair:
         finally:
             self._slots.release(slot)
         self.stats.completed += 1
+        if tracing.enabled:
+            tracing.observe("ssd.nvme.submit", self.engine.now - _t0)
+            tracing.count(f"ssd.nvme.{command.opcode.value}")
         return result
 
     def _execute(self, command: NvmeCommand) -> Iterator[Event]:

@@ -21,6 +21,7 @@ from typing import Iterator, Optional
 
 from repro.core.api import TwoBApiClient
 from repro.core.mapping_table import BaMappingEntry
+from repro.obs import tracing
 from repro.sim import Engine, Resource
 from repro.sim.engine import Event
 from repro.wal.base import WalStats, WriteAheadLog
@@ -164,6 +165,8 @@ class BaWAL(WriteAheadLog):
             raise ValueError(
                 f"record of {record_len} bytes exceeds segment of {self.segment_bytes}"
             )
+        if tracing.enabled:
+            _t0 = self.engine.now
         lock = self._insert_lock.request()
         yield lock
         try:
@@ -180,6 +183,8 @@ class BaWAL(WriteAheadLog):
             self._tail += len(record)
         finally:
             self._insert_lock.release(lock)
+        if tracing.enabled:
+            tracing.observe("wal.ba.append", self.engine.now - _t0)
         self.stats.appends += 1
         self.stats.bytes_appended += len(payload)
         return self._tail
@@ -193,18 +198,19 @@ class BaWAL(WriteAheadLog):
         self.stats.commits += 1
         if lsn <= self._synced:
             return None
-        lock = self._insert_lock.request()
-        yield lock
-        try:
-            if lsn <= self._synced:
-                return None
-            target = self._tail
-            yield self.engine.process(
-                self.api.ba_sync(self._halves[self._active].entry_id)
-            )
-            self._synced = max(self._synced, target)
-        finally:
-            self._insert_lock.release(lock)
+        with tracing.span("wal.ba.commit", self.engine):
+            lock = self._insert_lock.request()
+            yield lock
+            try:
+                if lsn <= self._synced:
+                    return None
+                target = self._tail
+                yield self.engine.process(
+                    self.api.ba_sync(self._halves[self._active].entry_id)
+                )
+                self._synced = max(self._synced, target)
+            finally:
+                self._insert_lock.release(lock)
         return None
 
     # -- flushing phase -------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.host.cpu import HostCPU
+from repro.obs import tracing
 from repro.sim import Engine, Resource, Store
 from repro.sim.engine import Event
 from repro.ssd.device import BlockSSD
@@ -100,6 +101,8 @@ class BlockWAL(WriteAheadLog):
         self.stats.commits += 1
         if self.mode is CommitMode.ASYNCHRONOUS or lsn <= self._durable:
             return None
+        if tracing.enabled:
+            _t0 = self.engine.now
         if not self.group_commit:
             # Every commit pays its own write+fsync, serialized — even
             # when an earlier commit's flush already covered its LSN (the
@@ -121,11 +124,15 @@ class BlockWAL(WriteAheadLog):
                     yield self.engine.process(self.device.fsync())
             finally:
                 self._inline_flush_lock.release(lock)
+            if tracing.enabled:
+                tracing.observe("wal.block.commit", self.engine.now - _t0)
             return None
         waiter = self.engine.event()
         self._commit_waiters.append((lsn, waiter))
         self._kick_writer()
         yield waiter
+        if tracing.enabled:
+            tracing.observe("wal.block.commit", self.engine.now - _t0)
         return None
 
     def recover(self, start_lsn: int = 0) -> Iterator[Event]:

@@ -15,6 +15,7 @@ from typing import Iterator
 
 from repro.host.cpu import HostCPU
 from repro.host.memory import PersistentMemoryRegion
+from repro.obs import tracing
 from repro.sim import Engine, Resource, Store
 from repro.sim.engine import Event
 from repro.ssd.device import BlockSSD
@@ -94,7 +95,8 @@ class PmWAL(WriteAheadLog):
     def commit(self, lsn: int) -> Iterator[Event]:
         """Process: a no-op — the append's fence already persisted the record."""
         self.stats.commits += 1
-        yield self.engine.timeout(0.0)
+        with tracing.span("wal.pm.commit", self.engine):
+            yield self.engine.timeout(0.0)
         return None
 
     def recover(self, start_lsn: int = 0) -> Iterator[Event]:

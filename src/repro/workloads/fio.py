@@ -8,7 +8,7 @@ and report per-size mean latencies.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim import Engine
 
@@ -18,16 +18,26 @@ def latency_sweep(
     make_op: Callable[[int, int], "Iterator"],
     sizes: list[int],
     iterations: int = 8,
+    histogram: Optional[object] = None,
 ) -> dict[int, float]:
     """Run ``make_op(size, iteration)`` sequentially (QD1) and return the
-    mean latency per request size, in seconds."""
+    mean latency per request size, in seconds.
+
+    ``histogram`` may be anything with a ``record(seconds)`` method (a
+    :class:`repro.obs.LatencyHistogram` or a
+    :class:`repro.bench.metrics.HistogramRecorder`); every individual
+    operation's latency is recorded into it, giving the sweep's full
+    distribution alongside the per-size means."""
     results: dict[int, float] = {}
 
     def runner():
         for size in sizes:
             start = engine.now
             for iteration in range(iterations):
+                op_start = engine.now
                 yield engine.process(make_op(size, iteration))
+                if histogram is not None:
+                    histogram.record(engine.now - op_start)
             results[size] = (engine.now - start) / iterations
         return results
 

@@ -1,0 +1,8 @@
+"""Shared pytest configuration for the tier-1 suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: long whole-system soak tests (deselect with -m \"not soak\")",
+    )

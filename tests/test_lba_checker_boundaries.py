@@ -1,0 +1,111 @@
+"""Regression tests: LBA-checker behaviour exactly at pin-range boundaries.
+
+A pin covers NAND pages [4, 8).  Block writes touching any page of that
+range — including exactly the first and last — must be gated; writes
+ending at the first page or starting one-past-the-end must pass.  Block
+reads are never gated: they return the (stale-by-design) NAND state
+until BA_FLUSH publishes the buffer (§III-A2).
+"""
+
+from typing import Iterator
+
+import pytest
+
+from repro.core.errors import GatedLbaError
+from repro.platform import Platform
+
+PAGE = 4096
+FIRST = 4          # first pinned page
+LAST = 7           # last pinned page
+ONE_PAST = 8       # first page after the range
+
+OLD = b"\x11" * (4 * PAGE)   # NAND contents before the pin
+NEW = b"\xbb" * (4 * PAGE)   # bytes MMIO-written into the BA-buffer
+
+
+@pytest.fixture()
+def pinned():
+    """A platform with pattern OLD on pages [4, 8), then that range pinned
+    and overwritten with NEW via the byte path (unflushed)."""
+    platform = Platform(seed=32)
+    engine, api, device = platform.engine, platform.api, platform.device
+
+    def setup() -> Iterator:
+        yield engine.process(device.write(FIRST, OLD))
+        yield engine.process(device.drain())
+        entry = yield engine.process(api.ba_pin(0, 0, FIRST, 4 * PAGE))
+        yield engine.process(api.mmio_write(entry, 0, NEW))
+        yield engine.process(api.ba_sync(0))
+        return None
+
+    engine.run_process(setup())
+    return platform
+
+
+class TestWriteGating:
+    def test_write_to_first_pinned_lba_rejected(self, pinned):
+        with pytest.raises(GatedLbaError):
+            pinned.engine.run_process(pinned.device.write(FIRST, bytes(PAGE)))
+
+    def test_write_to_last_pinned_lba_rejected(self, pinned):
+        with pytest.raises(GatedLbaError):
+            pinned.engine.run_process(pinned.device.write(LAST, bytes(PAGE)))
+
+    def test_write_spanning_into_range_rejected(self, pinned):
+        # Starts below the range but overlaps its first page.
+        with pytest.raises(GatedLbaError):
+            pinned.engine.run_process(
+                pinned.device.write(FIRST - 1, bytes(2 * PAGE)))
+
+    def test_write_spanning_out_of_range_rejected(self, pinned):
+        # Starts on the last page and runs past the end.
+        with pytest.raises(GatedLbaError):
+            pinned.engine.run_process(
+                pinned.device.write(LAST, bytes(2 * PAGE)))
+
+    def test_write_ending_at_range_start_allowed(self, pinned):
+        # Pages [2, 4) touch nothing pinned: [lo, hi) ranges are half-open.
+        pinned.engine.run_process(
+            pinned.device.write(FIRST - 2, bytes(2 * PAGE)))
+
+    def test_write_at_one_past_end_allowed(self, pinned):
+        pinned.engine.run_process(pinned.device.write(ONE_PAST, bytes(PAGE)))
+
+    def test_gated_writes_are_counted_and_change_nothing(self, pinned):
+        gate = pinned.device.lba_gate
+        before_checks, before_gated = gate.stats.checks, gate.stats.gated
+        for lpn in (FIRST, LAST):
+            with pytest.raises(GatedLbaError):
+                pinned.engine.run_process(pinned.device.write(lpn, bytes(PAGE)))
+        assert gate.stats.gated == before_gated + 2
+        assert gate.stats.checks == before_checks + 2
+        # The gated writes must not have reached NAND or the cache.
+        data = pinned.engine.run_process(pinned.device.read(FIRST, 4 * PAGE))
+        assert data == OLD
+
+
+class TestReadRedirection:
+    def test_reads_at_boundaries_return_stale_nand(self, pinned):
+        engine, device = pinned.engine, pinned.device
+        # The byte path holds NEW, but block reads of the pinned range —
+        # first page, last page, and the whole range — still see OLD.
+        assert engine.run_process(device.read(FIRST, PAGE)) == OLD[:PAGE]
+        assert engine.run_process(device.read(LAST, PAGE)) == OLD[-PAGE:]
+        assert engine.run_process(device.read(FIRST, 4 * PAGE)) == OLD
+
+    def test_read_one_past_end_unaffected(self, pinned):
+        data = pinned.engine.run_process(pinned.device.read(ONE_PAST, PAGE))
+        assert data == bytes(PAGE)
+
+    def test_flush_publishes_buffer_and_ungates(self, pinned):
+        engine, api, device = pinned.engine, pinned.api, pinned.device
+
+        def flush_and_check() -> Iterator:
+            yield engine.process(api.ba_flush(0))
+            after = yield engine.process(device.read(FIRST, 4 * PAGE))
+            return after
+
+        assert engine.run_process(flush_and_check()) == NEW
+        # With the pin gone, boundary writes are allowed again.
+        engine.run_process(device.write(FIRST, bytes(PAGE)))
+        engine.run_process(device.write(LAST, bytes(PAGE)))

@@ -1,0 +1,153 @@
+"""Property tests for the BA-buffer mapping table (§III-A2, Table I).
+
+Hypothesis drives random pin/unpin/flush sequences and checks the
+invariants the two datapaths depend on: never more than eight entries,
+never overlapping ranges (in either address space), and
+``BA_GET_ENTRY_INFO`` always agreeing with the table's contents.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import EntryNotFoundError, PinConflictError
+from repro.core.mapping_table import BaMappingTable
+from repro.platform import Platform
+
+PAGE = 4096
+BUFFER_PAGES = 64
+MAX_ENTRIES = 8
+
+
+def _overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+# Operations over a deliberately crowded space: entry ids beyond the
+# capacity, offsets/LBAs that frequently collide, lengths of 1-8 pages.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("pin"), st.integers(0, 11), st.integers(0, BUFFER_PAGES),
+                  st.integers(0, 48), st.integers(1, 8)),
+        st.tuples(st.just("unpin"), st.integers(0, 11)),
+    ),
+    max_size=50,
+)
+
+
+class TestTableProperties:
+    @given(_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_random_sequences_preserve_invariants(self, operations):
+        table = BaMappingTable(BUFFER_PAGES * PAGE, MAX_ENTRIES, PAGE)
+        model: dict[int, tuple[int, int, int]] = {}
+        for op in operations:
+            if op[0] == "pin":
+                _, eid, offset_pages, lba, length_pages = op
+                offset = offset_pages * PAGE
+                length = length_pages * PAGE
+                try:
+                    table.add(eid, offset, lba, length)
+                except PinConflictError:
+                    pass  # rejected pins must leave the table unchanged
+                else:
+                    # An accepted pin implies there was room and no conflict.
+                    assert len(model) < MAX_ENTRIES
+                    assert eid not in model
+                    model[eid] = (offset, lba, length)
+            else:
+                _, eid = op
+                try:
+                    removed = table.remove(eid)
+                except EntryNotFoundError:
+                    assert eid not in model
+                else:
+                    assert (removed.offset, removed.lba, removed.length) == model.pop(eid)
+
+            # Invariant 1: Table I's eight-entry cap.
+            assert len(table) <= MAX_ENTRIES
+            # Invariant 2: table contents mirror the accepted-pin model.
+            entries = table.entries()
+            assert {e.entry_id: (e.offset, e.lba, e.length)
+                    for e in entries} == model
+            # Invariant 3: no two live entries overlap in either space.
+            for i, a in enumerate(entries):
+                for b in entries[i + 1:]:
+                    assert not _overlap(a.buffer_range(), b.buffer_range())
+                    assert not _overlap(a.lba_range(PAGE), b.lba_range(PAGE))
+
+    @given(_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_agrees_with_membership(self, operations):
+        """``pinned_lba_overlap`` finds an entry iff one actually overlaps."""
+        table = BaMappingTable(BUFFER_PAGES * PAGE, MAX_ENTRIES, PAGE)
+        for op in operations:
+            try:
+                if op[0] == "pin":
+                    _, eid, offset_pages, lba, length_pages = op
+                    table.add(eid, offset_pages * PAGE, lba, length_pages * PAGE)
+                else:
+                    table.remove(op[1])
+            except (PinConflictError, EntryNotFoundError):
+                continue
+        for lpn in range(0, 52):
+            found = table.pinned_lba_overlap(lpn, 1)
+            expected = [e for e in table.entries()
+                        if _overlap(e.lba_range(PAGE), (lpn, lpn + 1))]
+            if expected:
+                assert found is not None and found.entry_id in {
+                    e.entry_id for e in expected}
+            else:
+                assert found is None
+
+    def test_snapshot_round_trip(self):
+        table = BaMappingTable(BUFFER_PAGES * PAGE, MAX_ENTRIES, PAGE)
+        table.add(0, 0, 0, PAGE)
+        table.add(3, 2 * PAGE, 10, 2 * PAGE)
+        image = table.to_snapshot()
+        restored = BaMappingTable(BUFFER_PAGES * PAGE, MAX_ENTRIES, PAGE)
+        restored.restore_snapshot(image)
+        assert restored.to_snapshot() == image
+        assert len(restored) == 2
+
+
+class TestApiAgreement:
+    """BA_GET_ENTRY_INFO (through the full ioctl path) vs the table."""
+
+    @given(st.lists(st.tuples(st.integers(0, MAX_ENTRIES - 1), st.booleans()),
+                    min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_get_entry_info_always_agrees(self, actions):
+        platform = Platform(seed=31)
+        engine, api, device = platform.engine, platform.api, platform.device
+
+        def drive():
+            pinned: set[int] = set()
+            for eid, do_pin in actions:
+                if do_pin and eid not in pinned:
+                    # Disjoint per-id layout so pins never conflict.
+                    yield engine.process(
+                        api.ba_pin(eid, eid * 2 * PAGE, eid * 2, PAGE))
+                    pinned.add(eid)
+                elif not do_pin and eid in pinned:
+                    yield engine.process(api.ba_flush(eid))
+                    pinned.discard(eid)
+                # After every step the ioctl agrees with the table, entry
+                # by entry, and absent ids are absent from both.
+                for check_id in range(MAX_ENTRIES):
+                    if check_id in pinned:
+                        info = yield engine.process(
+                            api.ba_get_entry_info(check_id))
+                        entry = device.mapping_table.get(check_id)
+                        assert info == entry
+                        assert (info.offset, info.lba, info.length) == (
+                            check_id * 2 * PAGE, check_id * 2, PAGE)
+                    else:
+                        assert check_id not in device.mapping_table
+            return None
+
+        engine.run_process(drive())
+
+    def test_get_entry_info_unknown_id_raises(self):
+        platform = Platform(seed=33)
+        with pytest.raises(EntryNotFoundError):
+            platform.engine.run_process(platform.api.ba_get_entry_info(5))

@@ -1,0 +1,279 @@
+"""Unit tests for the observability histograms and span machinery.
+
+Covers the math the benchmark drivers now rely on: geometric bucket
+boundaries, exact-percentile edge cases (one sample, all-equal),
+snapshot merging, exporter round-trips, and the zero-cost contract of
+disabled-mode spans.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BOUNDS,
+    HistogramSnapshot,
+    LatencyHistogram,
+    Tracer,
+    snapshot_from_csv,
+    snapshot_from_json,
+    snapshot_to_csv,
+    snapshot_to_json,
+    tracing,
+)
+from repro.obs.histogram import geometric_bounds
+from repro.sim import Engine
+
+
+class TestBucketBoundaries:
+    def test_default_bounds_cover_1ns_to_1000s(self):
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-9)
+        assert DEFAULT_BOUNDS[-1] == pytest.approx(1e3)
+        # 12 decades x 32 buckets/decade, fence-post inclusive.
+        assert len(DEFAULT_BOUNDS) == 12 * 32 + 1
+
+    def test_bounds_are_strictly_increasing_geometric(self):
+        ratio = 10 ** (1 / 32)
+        for a, b in zip(DEFAULT_BOUNDS, DEFAULT_BOUNDS[1:]):
+            assert b > a
+            assert b / a == pytest.approx(ratio)
+
+    def test_bucket_index_at_exact_boundaries(self):
+        h = LatencyHistogram()
+        assert h.bucket_index(0.0) == 0                      # underflow
+        assert h.bucket_index(DEFAULT_BOUNDS[0] / 2) == 0
+        # A value exactly on a boundary belongs to the bucket starting there.
+        assert h.bucket_index(DEFAULT_BOUNDS[0]) == 1
+        assert h.bucket_index(DEFAULT_BOUNDS[7]) == 8
+        assert h.bucket_index(DEFAULT_BOUNDS[-1]) == len(DEFAULT_BOUNDS)  # overflow
+        assert h.bucket_index(1e9) == len(DEFAULT_BOUNDS)
+
+    def test_bucket_range_brackets_recorded_value(self):
+        h = LatencyHistogram()
+        for value in (3.7e-6, 1e-9, 0.25, 999.0, 5e3):
+            index = h.bucket_index(value)
+            lo, hi = h.snapshot().bucket_range(index)
+            assert lo <= value < hi
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram([1e-6, 1e-6])        # not strictly increasing
+        with pytest.raises(ValueError):
+            LatencyHistogram([0.0, 1e-6])         # non-positive boundary
+        with pytest.raises(ValueError):
+            geometric_bounds(low=1e-3, high=1e-6)
+
+    def test_negative_latency_rejected(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1e-9)
+
+
+class TestPercentileEdgeCases:
+    def test_single_sample_answers_every_percentile_exactly(self):
+        h = LatencyHistogram()
+        h.record(3.3e-6)
+        for pct in (0, 1, 50, 90, 99, 99.9, 100):
+            assert h.percentile(pct) == pytest.approx(3.3e-6, abs=0.0)
+        assert h.mean == pytest.approx(3.3e-6)
+        assert h.maximum == pytest.approx(3.3e-6)
+
+    def test_all_equal_samples_are_exact(self):
+        h = LatencyHistogram()
+        for _ in range(1000):
+            h.record(7.25e-5)
+        summary = h.summary()
+        # Percentiles clamp to the exact [min, max] band, so all-equal
+        # samples come back bit-exact; the mean accumulates float error.
+        for key in ("p50", "p90", "p95", "p99", "p999", "max"):
+            assert summary[key] == pytest.approx(7.25e-5, abs=0.0)
+        assert summary["mean"] == pytest.approx(7.25e-5, rel=1e-12)
+
+    def test_percentiles_clamped_to_min_and_max(self):
+        h = LatencyHistogram()
+        h.record(1e-6)
+        h.record(1e-3)
+        assert h.percentile(0) == pytest.approx(1e-6)
+        assert h.percentile(100) == pytest.approx(1e-3)
+
+    def test_percentiles_monotonic_and_within_bucket_error(self):
+        h = LatencyHistogram()
+        samples = [i * 1e-6 for i in range(1, 501)]
+        for s in samples:
+            h.record(s)
+        previous = 0.0
+        for pct in (10, 25, 50, 75, 90, 95, 99, 99.9):
+            value = h.percentile(pct)
+            assert value >= previous
+            previous = value
+            exact = samples[min(int(pct / 100 * len(samples)), len(samples) - 1)]
+            # A bucket spans 10^(1/32) ~ 7.5%; interpolation stays inside.
+            assert value == pytest.approx(exact, rel=0.08)
+
+    def test_empty_histogram_raises(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(50)
+        with pytest.raises(ValueError):
+            _ = h.mean
+        with pytest.raises(ValueError):
+            h.snapshot().percentile(50)
+
+    def test_out_of_range_percentile_rejected(self):
+        h = LatencyHistogram()
+        h.record(1e-6)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestSnapshotMerge:
+    def test_merge_equals_recording_into_one(self):
+        a, b, both = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for i in range(200):
+            value = (i + 1) * 2.5e-7
+            (a if i % 2 else b).record(value)
+            both.record(value)
+        merged = a.snapshot().merge(b.snapshot())
+        reference = both.snapshot()
+        assert merged.counts == reference.counts
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+        for pct in (50, 95, 99, 99.9):
+            assert merged.percentile(pct) == reference.percentile(pct)
+
+    def test_merge_with_empty_is_identity(self):
+        a = LatencyHistogram()
+        a.record(5e-6)
+        empty = LatencyHistogram().snapshot()
+        assert a.snapshot().merge(empty) == a.snapshot()
+        assert empty.merge(a.snapshot()) == a.snapshot()
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = LatencyHistogram().snapshot()
+        b = LatencyHistogram(geometric_bounds(per_decade=8)).snapshot()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_counts_must_be_consistent(self):
+        with pytest.raises(ValueError):
+            HistogramSnapshot(bounds=(1e-6, 1e-3), counts=(0, 1, 0), count=2,
+                              total=1e-6, minimum=1e-6, maximum=1e-6)
+        with pytest.raises(ValueError):
+            HistogramSnapshot(bounds=(1e-6, 1e-3), counts=(0, 1), count=1,
+                              total=1e-6, minimum=1e-6, maximum=1e-6)
+
+    def test_dict_round_trip_preserves_percentiles(self):
+        h = LatencyHistogram()
+        for i in range(100):
+            h.record((i + 1) * 1e-6)
+        original = h.snapshot()
+        restored = HistogramSnapshot.from_dict(original.to_dict())
+        assert restored.counts == original.counts
+        assert restored.percentile(99) == original.percentile(99)
+
+    def test_from_snapshot_continues_recording(self):
+        h = LatencyHistogram()
+        h.record(1e-6)
+        clone = LatencyHistogram.from_snapshot(h.snapshot())
+        clone.record(2e-6)
+        assert len(clone) == 2
+        assert clone.maximum == pytest.approx(2e-6)
+        assert len(h) == 1  # the source is untouched
+
+
+class TestDisabledModeSpans:
+    def test_disabled_spans_share_a_noop_and_record_nothing(self):
+        engine = Engine()
+        assert not tracing.enabled
+        first = tracing.span("test.span", engine)
+        second = tracing.span("other.span", engine)
+        assert first is second  # the shared no-op: zero allocation per call
+        tracer = tracing.get_tracer()
+        before = dict(tracer.histograms)
+        with tracing.span("test.span", engine):
+            pass
+        assert tracer.histograms == before
+
+    def test_activated_scopes_the_flag_and_tracer(self):
+        engine = Engine()
+        outer = tracing.get_tracer()
+        with tracing.activated() as tracer:
+            assert tracing.enabled
+            assert tracing.get_tracer() is tracer
+
+            def work():
+                with tracing.span("test.timed", engine):
+                    yield engine.timeout(2e-6)
+                return None
+
+            engine.run_process(work())
+        assert not tracing.enabled
+        assert tracing.get_tracer() is outer
+        assert "test.timed" not in outer.histograms
+        assert tracer.histograms["test.timed"].percentile(50) == pytest.approx(2e-6)
+
+    def test_span_measures_simulated_time(self):
+        engine = Engine()
+        with tracing.activated() as tracer:
+
+            def work():
+                for delay in (1e-6, 3e-6, 5e-6):
+                    with tracing.span("test.delay", engine):
+                        yield engine.timeout(delay)
+                return None
+
+            engine.run_process(work())
+        snapshot = tracer.histograms["test.delay"].snapshot()
+        assert snapshot.count == 3
+        assert snapshot.minimum == pytest.approx(1e-6)
+        assert snapshot.maximum == pytest.approx(5e-6)
+
+    def test_counters_accumulate_and_reset(self):
+        tracer = Tracer()
+        tracer.count("x")
+        tracer.count("x", 4)
+        assert tracer.counters == {"x": 5}
+        tracer.reset()
+        assert tracer.counters == {}
+        assert tracer.histograms == {}
+
+    def test_merged_snapshot_by_prefix(self):
+        tracer = Tracer()
+        tracer.observe("wal.ba.commit", 1e-6)
+        tracer.observe("wal.block.commit", 3e-6)
+        tracer.observe("nand.array.read", 9e-6)
+        merged = tracer.merged_snapshot("wal.")
+        assert merged.count == 2
+        assert merged.maximum == pytest.approx(3e-6)
+        with pytest.raises(KeyError):
+            tracer.merged_snapshot("pcie.")
+
+
+class TestExporters:
+    @pytest.fixture()
+    def section(self):
+        tracer = Tracer()
+        for i in range(50):
+            tracer.observe("a.span", (i + 1) * 1e-6)
+        tracer.observe("b.span", 4e-3)
+        tracer.count("a.counter", 7)
+        return tracer.snapshot()
+
+    def test_json_round_trip_is_lossless(self, section):
+        restored = snapshot_from_json(snapshot_to_json(section))
+        assert restored == section
+
+    def test_json_rejects_non_snapshots(self):
+        with pytest.raises(ValueError):
+            snapshot_from_json("{}")
+
+    def test_csv_round_trip_preserves_summaries(self, section):
+        restored = snapshot_from_csv(snapshot_to_csv(section))
+        assert restored["counters"] == section["counters"]
+        for name, hist in section["histograms"].items():
+            back = restored["histograms"][name]
+            assert back["count"] == hist["count"]
+            for key in ("min", "max", "mean", "p50", "p95", "p99", "p999"):
+                assert back[key] == pytest.approx(hist[key])

@@ -10,6 +10,8 @@ This is the closest thing to the paper's deployment story: one 2B-SSD
 serving multiple latency-critical logs at once.
 """
 
+import pytest
+
 from repro.core import CrashHarness
 from repro.db.lsm import DeviceTableStorage, LSMTree
 from repro.db.memkv import MemKV
@@ -18,6 +20,10 @@ from repro.platform import Platform
 from repro.sim.units import USEC
 from repro.ssd import ULL_SSD
 from repro.wal import BaWAL
+
+# The whole module is slow by design; `-m "not soak"` skips it for the
+# fast tier-1 path (see ROADMAP.md).
+pytestmark = pytest.mark.soak
 
 SEGMENT = 1 << 20  # 1 MiB log segments
 AREA_PAGES = 4096

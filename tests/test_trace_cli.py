@@ -1,0 +1,98 @@
+"""End-to-end test of ``repro trace`` and the exporter round trips.
+
+Runs the CLI against a tiny YCSB workload, exports JSON and CSV,
+re-loads both, and cross-checks the exported counters against an
+identical programmatic run and against ``collect_stats`` — the
+simulation is deterministic per seed, so the numbers must agree exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import run_trace_workload
+from repro.cli import main
+from repro.obs.export import snapshot_from_csv, snapshot_from_json
+from repro.observability import collect_stats, tracing_stats
+
+OPS = 500   # what `trace --quick` runs
+SEED = 40
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """A programmatic run identical to what the CLI executes."""
+    return run_trace_workload(ops=OPS, seed=SEED)
+
+
+class TestTraceCli:
+    @pytest.fixture()
+    def exported(self, tmp_path, capsys):
+        json_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        code = main(["trace", "--quick", "--json", str(json_path),
+                     "--csv", str(csv_path)])
+        return code, json_path, csv_path, capsys.readouterr().out
+
+    def test_cli_runs_and_prints_span_table(self, exported):
+        code, _json_path, _csv_path, out = exported
+        assert code == 0
+        assert "Per-span latency" in out
+        for span in ("core.api.ba_sync", "wal.ba.commit", "host.cpu.wc_flush"):
+            assert span in out
+        assert "pcie.link.posted_writes" in out  # counters table
+
+    def test_json_export_matches_identical_run(self, exported, reference):
+        _code, json_path, _csv_path, _out = exported
+        loaded = snapshot_from_json(json_path.read_text())
+        assert loaded == tracing_stats(reference["tracer"])
+
+    def test_csv_export_round_trips_summaries(self, exported, reference):
+        _code, _json_path, csv_path, _out = exported
+        restored = snapshot_from_csv(csv_path.read_text())
+        section = tracing_stats(reference["tracer"])
+        assert restored["counters"] == section["counters"]
+        assert set(restored["histograms"]) == set(section["histograms"])
+        for name, hist in section["histograms"].items():
+            back = restored["histograms"][name]
+            assert back["count"] == hist["count"]
+            assert back["p99"] == pytest.approx(hist["p99"])
+
+    def test_list_advertises_trace(self, capsys):
+        assert main(["list"]) == 0
+        assert "trace" in capsys.readouterr().out
+
+
+class TestCounterAgreement:
+    def test_counters_match_collect_stats(self, reference):
+        """Tracer counters and the platform's own stats count the same events."""
+        report = collect_stats(reference["platform"], reference["tracer"])
+        counters = report["tracing"]["counters"]
+        # Every posted PCIe write happened inside the traced region.
+        assert counters["pcie.link.posted_writes"] == report["pcie"]["posted_writes"]
+        # Span sample counts line up with the platform counters too: each
+        # BA_SYNC does one write-verify read over the link.
+        histograms = report["tracing"]["histograms"]
+        assert (histograms["core.api.ba_sync"]["count"]
+                == histograms["host.cpu.write_verify_read"]["count"])
+
+    def test_collect_stats_includes_tracing_only_when_present(self, reference):
+        with_tracer = collect_stats(reference["platform"], reference["tracer"])
+        assert "tracing" in with_tracer
+        without = collect_stats(reference["platform"])
+        assert "tracing" not in without  # global tracer untouched by the run
+
+    def test_deterministic_across_runs(self, reference):
+        again = run_trace_workload(ops=OPS, seed=SEED)
+        assert tracing_stats(again["tracer"]) == tracing_stats(reference["tracer"])
+        assert again["result"].operations == reference["result"].operations
+        assert again["result"].elapsed_seconds == pytest.approx(
+            reference["result"].elapsed_seconds)
+
+    def test_json_section_is_valid_json_of_expected_shape(self, reference):
+        section = tracing_stats(reference["tracer"])
+        decoded = json.loads(json.dumps(section))
+        assert set(decoded) == {"histograms", "counters"}
+        for payload in decoded["histograms"].values():
+            assert payload["count"] == sum(payload["buckets"].values())
+            assert payload["p50"] <= payload["p99"] <= payload["max"]
