@@ -1,0 +1,37 @@
+"""Wall-clock performance of the simulator itself (not a paper figure).
+
+Measures kernel events/sec and the fig7/fig8 driver runtimes against the
+pre-optimization baselines pinned in :mod:`repro.bench.wallclock`, and
+archives ``BENCH_wallclock.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py        # or
+    PYTHONPATH=src python -m repro perf
+
+or through pytest (the ``perf`` marker keeps it out of ``-m "not perf"``
+runs)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_wallclock.py
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import wallclock
+
+pytestmark = pytest.mark.perf
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_wallclock(report):
+    payload = wallclock.write_report(RESULTS_DIR / "BENCH_wallclock.json")
+    report("wallclock", wallclock.format_report(payload))
+    assert payload["pass"], (
+        "wall-clock perf targets missed: " + wallclock.format_report(payload))
+
+
+if __name__ == "__main__":
+    payload = wallclock.write_report("BENCH_wallclock.json")
+    print(wallclock.format_report(payload))
+    print("wrote BENCH_wallclock.json")

@@ -12,6 +12,13 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock performance measurements (deselect with -m \"not perf\")",
+    )
+
+
 @pytest.fixture
 def report(capsys):
     """Callable fixture: ``report(name, text)`` prints and archives a report."""

@@ -1,0 +1,189 @@
+"""Golden determinism workloads: fixed seed -> bit-identical platform stats.
+
+The simulation-kernel fast paths and the batched NAND operations are pure
+wall-clock optimizations: they must not change *simulated* behaviour at
+all.  Each scenario here drives a fixed-seed workload across the layers
+those optimizations touch (event kernel, resources, BA pin/flush, the
+write-cache destage path, garbage collection) and returns the full
+:func:`repro.observability.collect_stats` report serialized as canonical
+JSON.  ``tests/golden/*.json`` holds the output captured before the
+optimizations landed; ``tests/test_golden_determinism.py`` re-runs every
+scenario and compares byte-for-byte.
+
+Adding a scenario: write a function returning a JSON-serializable dict,
+register it in :data:`SCENARIOS`, and regenerate the goldens with::
+
+    PYTHONPATH=src python -m repro.bench.golden [--update]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Callable, Iterator
+
+from repro.sim.units import KiB, MiB
+
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+PAGE = 4096
+
+
+def canonical_json(payload: dict) -> str:
+    """Stable serialization: sorted keys, explicit float repr via json."""
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def scenario_ba_datapath() -> dict:
+    """BA_PIN / BA_SYNC / BA_FLUSH over a populated device (seed 101).
+
+    Exercises the firmware-core pacing, the batched NAND read/program
+    fan-out behind pin and flush, the write-cache destage workers, and
+    the LBA checker — everything the BA-path batching touches.
+    """
+    from repro.observability import collect_stats
+    from repro.platform import Platform
+
+    platform = Platform(seed=101)
+    engine, api, device = platform.engine, platform.api, platform.device
+
+    def drive() -> Iterator:
+        # Populate 2 MiB through the block path (destage workers engaged).
+        for lpn in range(0, 512, 8):
+            yield engine.process(device.write(lpn, bytes([lpn & 0xFF]) * (8 * PAGE)))
+        yield engine.process(device.drain())
+        # Pin/dirty/sync/flush entries of assorted sizes, including a
+        # never-written range (the unmapped fast path) and a re-pin.
+        sweeps = [(0, 1), (8, 4), (16, 16), (64, 64), (300, 32), (4000, 8), (16, 16)]
+        for eid, (lba, npages) in enumerate(sweeps):
+            entry = yield engine.process(api.ba_pin(eid, 0, lba, npages * PAGE))
+            yield engine.process(api.mmio_write(entry, 0, bytes(256)))
+            yield engine.process(api.ba_sync(eid))
+            yield engine.process(api.ba_flush(eid))
+        yield engine.process(device.drain())
+        return None
+
+    engine.run(until=engine.process(drive(), name="golden-ba"))
+    engine.run()
+    return collect_stats(platform)
+
+
+def scenario_ycsb_bawal() -> dict:
+    """YCSB-A on the Redis-like store over BA-WAL (seed 202).
+
+    The end-to-end system path: WAL pinning/recycling log segments via
+    the byte API while client processes contend on kernel resources.
+    """
+    from repro.bench.drivers import run_ycsb_on_memkv
+    from repro.db.memkv import MemKV
+    from repro.observability import collect_stats
+    from repro.platform import Platform
+    from repro.wal import BaWAL
+    from repro.workloads import YcsbConfig, YcsbWorkload
+
+    platform = Platform(seed=202)
+    wal = BaWAL(platform.engine, platform.api, area_pages=4096)
+    platform.engine.run_process(wal.start())
+    store = MemKV(platform.engine, wal)
+    workload = YcsbWorkload(
+        YcsbConfig.workload_a(payload_bytes=192, record_count=300),
+        platform.rng.fork("golden-ycsb").stream("ops"),
+    )
+    result = run_ycsb_on_memkv(platform.engine, store, workload, 600, clients=4)
+    report = collect_stats(platform)
+    report["workload"] = {
+        "operations": result.operations,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    return report
+
+
+def scenario_block_gc() -> dict:
+    """Sustained overwrites on a small block SSD until GC churns (seed 303).
+
+    A shrunken geometry keeps the run fast while forcing foreground and
+    background garbage collection, block erases, and wear accumulation —
+    the FTL paths whose victim selection and allocation order must not
+    shift under the optimizations.
+    """
+    from repro.observability import collect_stats
+    from repro.platform import Platform
+    from repro.ssd import ULL_SSD
+    from repro.nand.geometry import NandGeometry
+
+    profile = dataclasses.replace(
+        ULL_SSD,
+        name="GC-MINI",
+        geometry=NandGeometry(channels=2, dies_per_channel=2,
+                              blocks_per_die=8, pages_per_block=16),
+        cache_bytes=64 * KiB,
+        destage_workers=8,
+    )
+    platform = Platform(seed=303)
+    device = platform.add_block_ssd(profile)
+    engine = platform.engine
+    span = device.logical_pages // 2
+
+    def drive() -> Iterator:
+        for round_no in range(6):
+            for lpn in range(0, span, 4):
+                payload = bytes([round_no]) * (4 * PAGE)
+                yield engine.process(device.write(lpn, payload))
+            yield engine.process(device.drain())
+        # Read a stripe back so read-path timing lands in the stats too.
+        for lpn in range(0, span, 16):
+            yield engine.process(device.read(lpn, 4 * PAGE))
+        return None
+
+    engine.run(until=engine.process(drive(), name="golden-gc"))
+    engine.run()
+    return collect_stats(platform)
+
+
+SCENARIOS: dict[str, Callable[[], dict]] = {
+    "ba_datapath": scenario_ba_datapath,
+    "ycsb_bawal": scenario_ycsb_bawal,
+    "block_gc": scenario_block_gc,
+}
+
+
+def run_scenario(name: str) -> str:
+    """Run one scenario and return its canonical-JSON report."""
+    return canonical_json(SCENARIOS[name]())
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite tests/golden/*.json with fresh output")
+    parser.add_argument("names", nargs="*", default=list(SCENARIOS),
+                        help="scenarios to run (default: all)")
+    args = parser.parse_args(argv)
+    status = 0
+    for name in args.names or list(SCENARIOS):
+        text = run_scenario(name)
+        path = GOLDEN_DIR / f"{name}.json"
+        if args.update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {path}")
+        else:
+            expected = path.read_text() if path.exists() else None
+            match = "MATCH" if text == expected else "MISMATCH"
+            if text != expected:
+                status = 1
+            print(f"{name}: {match}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

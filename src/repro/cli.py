@@ -168,6 +168,15 @@ def _cmd_trace(args) -> None:
         print(f"wrote {args.csv}")
 
 
+def _cmd_perf(args) -> None:
+    """Measure simulator wall-clock performance; write BENCH_wallclock.json."""
+    from repro.bench import wallclock
+
+    payload = wallclock.write_report(args.output, skip_figs=args.skip_figs)
+    print(wallclock.format_report(payload))
+    print(f"wrote {args.output}")
+
+
 def _cmd_report(args) -> None:
     """Run every experiment and write a single markdown report."""
     import contextlib
@@ -210,6 +219,7 @@ COMMANDS = {
     "fig10": (_cmd_fig10, "run the Fig. 10 comparison"),
     "ablations": (_cmd_ablations, "run every ablation study"),
     "trace": (_cmd_trace, "run a traced workload; dump per-span latencies"),
+    "perf": (_cmd_perf, "measure wall-clock perf; write BENCH_wallclock.json"),
     "report": (_cmd_report, "run everything and write a markdown report"),
 }
 
@@ -228,6 +238,11 @@ def main(argv: list[str] | None = None) -> int:
         if name == "report":
             cmd.add_argument("--output", default="REPORT.md",
                              help="report file path (default REPORT.md)")
+        if name == "perf":
+            cmd.add_argument("--output", default="BENCH_wallclock.json",
+                             help="result file path (default BENCH_wallclock.json)")
+            cmd.add_argument("--skip-figs", action="store_true",
+                             help="microbench only; skip the fig7/fig8 drivers")
         if name == "trace":
             cmd.add_argument("--ops", type=int, default=2000,
                              help="YCSB operations to run (default 2000)")

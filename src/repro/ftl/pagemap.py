@@ -13,6 +13,7 @@ which is the quantity §IV-A argues BA-WAL improves.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -52,7 +53,7 @@ class _DieAllocator:
     def __init__(self, channel: int, die: int, blocks: list[int]) -> None:
         self.channel = channel
         self.die = die
-        self.free_blocks = list(blocks)
+        self.free_blocks: deque[int] = deque(blocks)
         self.active_block: Optional[int] = None
         self.next_page = 0
 
@@ -157,7 +158,7 @@ class PageMapFTL:
             if die.active_block is None:
                 if not die.free_blocks:
                     continue
-                die.active_block = die.free_blocks.pop(0)
+                die.active_block = die.free_blocks.popleft()
                 die.next_page = 0
             page = die.next_page
             die.next_page += 1
@@ -221,6 +222,87 @@ class PageMapFTL:
                     return data
         raise FtlCapacityError(f"read of logical page {lpn} kept racing with GC")
 
+    # -- batched host operations ------------------------------------------------
+    #
+    # Streaming counterparts of :meth:`read`/:meth:`write` for callers
+    # that drive many pages through a NAND batch (BA pin/flush, destage).
+    # They replicate the per-page semantics — unmapped fast path, GC-race
+    # read retry, watermark checks at issue time, map binding at program
+    # completion — without spawning a process per page.
+
+    def read_submit(self, lpn: int, batch, on_data, token=None) -> None:
+        """Submit a logical-page read to a :class:`NandReadBatch`.
+
+        ``on_data(token, data)`` fires at the instant a per-page
+        :meth:`read` process issued now would have returned — synchronously
+        for unmapped pages, at media-read completion otherwise.
+        """
+        self._check_lpn(lpn)
+        t0 = self.engine.now if tracing.enabled else 0.0
+        self._read_attempt(lpn, batch, on_data, token, t0, 4)
+
+    def _read_attempt(self, lpn: int, batch, on_data, token, t0: float,
+                      attempts: int) -> None:
+        if attempts == 0:
+            raise FtlCapacityError(f"read of logical page {lpn} kept racing with GC")
+        if tracing.enabled:
+            tracing.count("ftl.pagemap.lookups")
+        ppn = self.map.lookup(lpn)
+        if ppn is None:
+            if tracing.enabled:
+                tracing.observe("ftl.pagemap.read", self.engine.now - t0)
+            on_data(token, bytes(self.page_size))
+            return
+
+        def _sensed(_token, data: bytes) -> None:
+            # Same mid-read GC-relocation retry as :meth:`read`: the
+            # resubmission claims a fresh die slot at retry time, exactly
+            # when the per-page loop would respawn its media read.
+            if self.map.lookup(lpn) == ppn:
+                if tracing.enabled:
+                    tracing.observe("ftl.pagemap.read", self.engine.now - t0)
+                on_data(token, data)
+            else:
+                self._read_attempt(lpn, batch, on_data, token, t0, attempts - 1)
+
+        batch.submit(ppn, on_data=_sensed)
+
+    def write_submit(self, lpn: int, data: bytes, batch,
+                     on_done=None, token=None):
+        """Submit a logical-page write to a :class:`NandProgramBatch`.
+
+        Returns ``None`` when the page was handed to the batch —
+        ``on_done(token)`` then fires at the instant a per-page
+        :meth:`write` process issued now would have completed.  When the
+        write must stall on foreground GC it falls back to a per-page
+        :meth:`write` process (returned to the caller to await), so the
+        stall blocks only this page, exactly like the unbatched path.
+        """
+        self._check_lpn(lpn)
+        if len(data) > self.page_size:
+            raise ValueError(f"page write of {len(data)} bytes exceeds {self.page_size}")
+        free = self.total_free_blocks
+        if free < self._gc_low_watermark:
+            return self.engine.process(self.write(lpn, data))
+        if free < self._bg_watermark:
+            self._kick_background_gc()
+        t0 = self.engine.now if tracing.enabled else 0.0
+        ppn = self._allocate_page()
+
+        def _programmed(_token) -> None:
+            previous = self.map.bind(lpn, ppn)
+            self._mark_valid(ppn)
+            if previous is not None:
+                self._invalidate(previous)
+            if tracing.enabled:
+                tracing.observe("ftl.pagemap.write", self.engine.now - t0)
+            self.stats.host_pages_written += 1
+            if on_done is not None:
+                on_done(token)
+
+        batch.submit(ppn, data, on_done=_programmed)
+        return None
+
     def trim(self, lpn: int) -> None:
         """Drop the mapping for ``lpn``; its physical page becomes stale."""
         self._check_lpn(lpn)
@@ -270,17 +352,20 @@ class PageMapFTL:
         """Greedy victim selection with a wear-aware tiebreak: among
         blocks with the fewest valid pages, prefer the least-worn one so
         hot blocks don't absorb all the erases."""
-        best: Optional[tuple[int, int, tuple[int, int, int]]] = None
-        for key in self._full_blocks:
-            valid_count = len(self._valid.get(key, ()))
-            erases = self.flash.erase_count(*key)
-            candidate = (valid_count, erases, key)
-            if best is None or candidate[:2] < best[:2]:
+        best: Optional[tuple[int, int]] = None
+        best_index = -1
+        for index, key in enumerate(self._full_blocks):
+            candidate = (len(self._valid.get(key, ())), self.flash.erase_count(*key))
+            # Strict < keeps the first-encountered minimum on ties — the
+            # same victim the old remove()-based scan picked.
+            if best is None or candidate < best:
                 best = candidate
+                best_index = index
         if best is None:
             return None
-        self._full_blocks.remove(best[2])
-        return best[0], best[2]
+        key = self._full_blocks[best_index]
+        del self._full_blocks[best_index]
+        return best[0], key
 
     def _kick_background_gc(self) -> None:
         if not self._bg_kicked:

@@ -17,11 +17,11 @@ Protocol invariants enforced (violations raise :class:`NandProtocolError`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.obs import tracing
-from repro.sim import Engine, Resource, RngStreams
-from repro.sim.engine import Event
+from repro.sim import Engine, Resource, RngStreams, Store
+from repro.sim.engine import Event, Process
 from repro.nand.geometry import NandGeometry
 from repro.nand.timing import NandTiming
 
@@ -123,18 +123,25 @@ class FlashArray:
         return PageAddress(*self.geometry.decompose(ppn))
 
     def wear_summary(self) -> dict[str, float]:
-        """Erase-count distribution across all blocks (lifetime reporting)."""
-        counts = [
-            self._block_state(channel, die, block).erase_count
-            for channel in range(self.geometry.channels)
-            for die in range(self.geometry.dies_per_channel)
-            for block in range(self.geometry.blocks_per_die)
-        ]
+        """Erase-count distribution across all blocks (lifetime reporting).
+
+        Only blocks that have seen activity carry state; the (possibly
+        billions of) untouched blocks all sit at zero erases and are
+        accounted for arithmetically instead of being materialized.
+        """
+        nblocks = self.geometry.blocks
+        touched = [state.erase_count for state in self._blocks.values()]
+        total = sum(touched)
+        if touched:
+            low = min(touched) if len(touched) == nblocks else 0
+            high = max(touched)
+        else:
+            low = high = 0
         return {
-            "min": float(min(counts)),
-            "max": float(max(counts)),
-            "mean": sum(counts) / len(counts),
-            "total": float(sum(counts)),
+            "min": float(low),
+            "max": float(high),
+            "mean": total / nblocks,
+            "total": float(total),
         }
 
     def erase_count(self, channel: int, die: int, block: int) -> int:
@@ -240,6 +247,63 @@ class FlashArray:
         if tracing.enabled:
             tracing.observe("nand.array.program", self.engine.now - _t0)
 
+    # -- batched operations ---------------------------------------------------
+    #
+    # A batch replaces "one process per page" with "one worker process per
+    # die touched".  Timing equivalence rests on two invariants:
+    #
+    # * ``submit()`` creates the die request at submission time, so the
+    #   page claims the exact FIFO slot on its die that a per-page process
+    #   spawned at the same instant would claim (die arbitration order —
+    #   including against concurrent GC traffic — is unchanged);
+    # * the worker body replays the per-page operation's timed sequence
+    #   verbatim (same timeouts, same channel arbitration, same RNG draws
+    #   in the same order, same stats/tracing effects), so every page
+    #   starts and completes at the same simulated time as before.
+    #
+    # Completion values are delivered through ``on_data``/``on_done``
+    # callbacks invoked at each page's completion instant, which lets
+    # callers stream submissions (BA pin/flush pacing, destage) without
+    # one continuation process per page.
+
+    def read_batch(self) -> "NandReadBatch":
+        """Return a streaming batch for timed multi-page reads."""
+        return NandReadBatch(self)
+
+    def program_batch(self) -> "NandProgramBatch":
+        """Return a streaming batch for timed multi-page programs."""
+        return NandProgramBatch(self)
+
+    def read_pages(self, ppns: "list[int]") -> Iterator[Event]:
+        """Process: read many pages concurrently, fanning out over dies.
+
+        Equivalent in simulated time to spawning one :meth:`read_page`
+        process per page at the call instant, but with O(dies) process
+        spawns.  Returns the page contents in ``ppns`` order.
+        """
+        batch = NandReadBatch(self)
+        results: list[Optional[bytes]] = [None] * len(ppns)
+
+        def sink(index: int, data: bytes) -> None:
+            results[index] = data
+
+        for index, ppn in enumerate(ppns):
+            batch.submit(ppn, on_data=sink, token=index)
+        yield from batch.drain()
+        return results
+
+    def program_pages(self, pages: "list[tuple[int, bytes]]") -> Iterator[Event]:
+        """Process: program many ``(ppn, data)`` pairs concurrently.
+
+        Equivalent in simulated time to spawning one :meth:`program_page`
+        process per page at the call instant, with O(dies) process spawns.
+        """
+        batch = NandProgramBatch(self)
+        for ppn, data in pages:
+            batch.submit(ppn, data)
+        yield from batch.drain()
+        return None
+
     def erase_block(self, channel: int, die: int, block: int) -> Iterator[Event]:
         """Process: erase a whole block, resetting its write pointer."""
         self.geometry.validate_address(channel, die, block, 0)
@@ -267,3 +331,213 @@ class FlashArray:
         self.stats.block_erases += 1
         if tracing.enabled:
             tracing.observe("nand.array.erase", self.engine.now - _t0)
+
+
+class _NandBatch:
+    """Shared fan-out plumbing for :class:`NandReadBatch`/:class:`NandProgramBatch`.
+
+    One lazily spawned worker process per die touched; each worker drains
+    a per-die FIFO of submitted page operations.  Die slots are reserved
+    at :meth:`submit` time (see the invariant note in
+    :class:`FlashArray`), so a worker merely *consumes* an arbitration
+    position its page already holds.
+    """
+
+    __slots__ = ("array", "engine", "_queues", "_workers", "_closed")
+
+    def __init__(self, array: FlashArray) -> None:
+        self.array = array
+        self.engine = array.engine
+        self._queues: dict[int, Store] = {}
+        self._workers: list[Process] = []
+        self._closed = False
+
+    def _enqueue(self, addr: PageAddress, die_res: Resource, item: tuple) -> None:
+        if self._closed:
+            raise SimulationBatchClosed("submit() on a closed NAND batch")
+        die_index = addr.channel * self.array.geometry.dies_per_channel + addr.die
+        queue = self._queues.get(die_index)
+        if queue is None:
+            queue = Store(self.engine)
+            self._queues[die_index] = queue
+            self._workers.append(
+                self.engine.process(
+                    self._worker(die_res, queue),
+                    name=f"{type(self).__name__}[die{die_index}]",
+                )
+            )
+        queue.put(item)
+
+    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+        raise NotImplementedError
+
+    def _abort(self, queue: Store, die_res: Resource) -> None:
+        """Cancel the die reservations of not-yet-started items after a
+        failure, so the die is not deadlocked for unrelated traffic."""
+        while len(queue):
+            item = queue.get()._value
+            if item is not None:
+                die_res.release(item[0])
+
+    def close(self) -> None:
+        """Signal the end of submissions; idle workers terminate."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._queues.values():
+            queue.put(None)
+
+    def drain(self) -> Iterator[Event]:
+        """Process fragment: close the batch and wait for every worker.
+
+        Use via ``yield from batch.drain()`` inside the driving process.
+        """
+        self.close()
+        if self._workers:
+            yield self.engine.all_of(self._workers)
+
+
+class SimulationBatchClosed(Exception):
+    """Raised when pages are submitted to an already-drained batch."""
+
+
+class NandReadBatch(_NandBatch):
+    """Streaming multi-page read: submit pages as they become known.
+
+    ``on_data(token, data)`` runs at the page's completion instant —
+    exactly when a per-page :meth:`FlashArray.read_page` process would
+    have delivered its value.
+    """
+
+    __slots__ = ()
+
+    def submit(self, ppn: int, on_data: Optional[Callable[[object, bytes], None]] = None,
+               token: object = None) -> None:
+        from repro.nand.ecc import raw_bit_errors, retries_needed
+
+        array = self.array
+        addr = array.address(ppn)
+        state = array._block_state(addr.channel, addr.die, addr.block)
+        retries = 0
+        if addr.page in state.programmed:
+            errors = raw_bit_errors(array.ecc, ppn, state.erase_count,
+                                    array.timing.endurance_cycles, array._ecc_seed)
+            retries = retries_needed(array.ecc, errors)  # may raise UECC
+        t0 = self.engine.now if tracing.enabled else 0.0
+        die_res = array._die_resource(addr.channel, addr.die)
+        die_req = die_res.request()
+        self._enqueue(addr, die_res, (die_req, ppn, addr, retries, on_data, token, t0))
+
+    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+        array = self.array
+        engine = self.engine
+        timing = array.timing
+        rng = array._rng
+        stats = array.stats
+        transfer = array._transfer_time(array.geometry.page_size)
+        while True:
+            item = yield queue.get()
+            if item is None:
+                return
+            die_req, ppn, addr, retries, on_data, token, t0 = item
+            try:
+                yield die_req
+                try:
+                    for _sense in range(1 + retries):
+                        yield engine.timeout(timing.sample_read(rng))
+                    channel_res = array._channels[addr.channel]
+                    chan_req = channel_res.request()
+                    yield chan_req
+                    try:
+                        yield engine.timeout(transfer)
+                    finally:
+                        channel_res.release(chan_req)
+                finally:
+                    die_res.release(die_req)
+            except BaseException:
+                self._abort(queue, die_res)
+                raise
+            stats.page_reads += 1
+            stats.read_retries += retries
+            if tracing.enabled:
+                tracing.observe("nand.array.read", engine.now - t0)
+            if on_data is not None:
+                on_data(token, array.peek(ppn))
+
+
+class NandProgramBatch(_NandBatch):
+    """Streaming multi-page program: submit ``(ppn, data)`` as produced.
+
+    ``on_done(token)`` runs at the page's completion instant — when a
+    per-page :meth:`FlashArray.program_page` process would have finished.
+    Protocol checks still run under the die hold, like the per-page path.
+    """
+
+    __slots__ = ()
+
+    def submit(self, ppn: int, data: bytes,
+               on_done: Optional[Callable[[object], None]] = None,
+               token: object = None) -> None:
+        array = self.array
+        if len(data) > array.geometry.page_size:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds page size {array.geometry.page_size}"
+            )
+        addr = array.address(ppn)
+        t0 = self.engine.now if tracing.enabled else 0.0
+        die_res = array._die_resource(addr.channel, addr.die)
+        die_req = die_res.request()
+        self._enqueue(addr, die_res, (die_req, ppn, addr, data, on_done, token, t0))
+
+    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+        array = self.array
+        engine = self.engine
+        timing = array.timing
+        rng = array._rng
+        stats = array.stats
+        page_size = array.geometry.page_size
+        while True:
+            item = yield queue.get()
+            if item is None:
+                return
+            die_req, ppn, addr, data, on_done, token, t0 = item
+            state = array._block_state(addr.channel, addr.die, addr.block)
+            try:
+                yield die_req
+                try:
+                    if addr.page in state.programmed:
+                        raise NandProtocolError(
+                            f"page {ppn} already programmed since last erase "
+                            "(erase-before-program)"
+                        )
+                    if addr.page != state.write_pointer:
+                        raise NandProtocolError(
+                            f"out-of-order program in block "
+                            f"({addr.channel},{addr.die},{addr.block}): "
+                            f"page {addr.page} programmed while write pointer is "
+                            f"{state.write_pointer}"
+                        )
+                    channel_res = array._channels[addr.channel]
+                    chan_req = channel_res.request()
+                    yield chan_req
+                    try:
+                        yield engine.timeout(array._transfer_time(len(data)))
+                    finally:
+                        channel_res.release(chan_req)
+                    yield engine.timeout(timing.sample_program(rng))
+                finally:
+                    die_res.release(die_req)
+            except BaseException:
+                self._abort(queue, die_res)
+                raise
+            padded = data if len(data) == page_size else (
+                data + bytes(page_size - len(data))
+            )
+            array._data[ppn] = bytes(padded)
+            state.programmed.add(addr.page)
+            state.write_pointer = addr.page + 1
+            stats.page_programs += 1
+            if tracing.enabled:
+                tracing.observe("nand.array.program", engine.now - t0)
+            if on_done is not None:
+                on_done(token)

@@ -8,11 +8,32 @@ value (or the event's exception is thrown into it).
 The design deliberately mirrors SimPy's core, trimmed to what this
 reproduction needs: timeouts, composite events (:class:`AllOf` /
 :class:`AnyOf`), and process-as-event composition.
+
+Hot-path design
+---------------
+
+Every simulated NAND page op costs a handful of kernel events, so the
+kernel keeps two queues:
+
+* the heap, for events at a future time (timeouts) or triggered through
+  the general :meth:`Event.succeed` path;
+* a deferred FIFO of ``(time, sequence, callback, event)`` entries for
+  zero-delay continuations — resuming a process that yielded an
+  already-processed event, process bootstrap, and the uncontended
+  resource/store wake-ups in :mod:`repro.sim.resources`.
+
+Deferred entries carry the same monotonic sequence numbers the heap
+uses, and :meth:`Engine.step` always runs whichever queue holds the
+smaller ``(time, sequence)`` pair.  Execution order is therefore
+*identical* to scheduling everything through the heap (the golden
+determinism tests pin this down); the deferred queue only avoids the
+per-event heap push/pop and ``Event`` allocation.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator
 from typing import Any, Callable, Optional
 
@@ -93,20 +114,49 @@ class Event:
     def _mark_processed(self) -> None:
         self._processed = True
 
+    def _succeed_processed(self, value: Any = None) -> None:
+        """Fast path: trigger *and* process in place, deferring callbacks.
+
+        Used by uncontended resource grants and store hand-offs.  The
+        callbacks run at the same ``(time, sequence)`` position a heap
+        round-trip would have given them, without touching the heap.
+        """
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._processed = True
+        self._value = value
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            defer = self.engine._defer
+            for callback in callbacks:
+                defer(callback, self)
+
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    The dominant event type by far, so construction is inlined: no
+    ``Event.__init__`` call, attributes set directly, scheduled straight
+    onto the heap.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be non-negative, got {delay}")
-        super().__init__(engine)
-        self.delay = delay
-        self._triggered = True
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine._schedule(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self._failure_observed = False
+        self.delay = delay
+        engine._sequence = sequence = engine._sequence + 1
+        heapq.heappush(engine._queue, (engine.now + delay, sequence, self))
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -120,20 +170,28 @@ class Process(Event):
     or to :meth:`Engine.run` if nobody waits).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on", "name")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
         if not isinstance(generator, Generator):
             raise TypeError(
                 f"Process requires a generator (a function using 'yield'), got {generator!r}"
             )
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+        self._failure_observed = False
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
-        self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(engine)
-        bootstrap.succeed()
-        bootstrap.callbacks.append(self._resume)
+        self.name = name or generator.__name__
+        # First resume goes through the deferred queue directly; no
+        # bootstrap Event, no heap trip.
+        engine._defer(self._resume, engine._init_event)
 
     @property
     def is_alive(self) -> bool:
@@ -142,16 +200,26 @@ class Process(Event):
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
         try:
-            if trigger._exception is not None:
-                trigger._failure_observed = True
-                target = self._generator.throw(trigger._exception)
+            if trigger._exception is None:
+                target = self._send(trigger._value)
             else:
-                target = self._generator.send(trigger._value)
+                trigger._failure_observed = True
+                target = self._throw(trigger._exception)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            # Fast completion: mark processed in place; waiters resume via
+            # the deferred queue at the same (time, sequence) position a
+            # heap round-trip would have given them.
+            self._succeed_processed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - failure propagates via the event
             self.fail(exc)
+            return
+
+        if type(target) is Timeout:
+            # Fast path for the dominant yield type: a fresh Timeout is
+            # never processed and always engine-owned.
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
             return
 
         if not isinstance(target, Event):
@@ -168,15 +236,11 @@ class Process(Event):
 
         self._waiting_on = target
         if target._processed:
-            # The event already fired; resume on the next scheduler step.
+            # The event already fired; resume on the next scheduler step
+            # via the deferred queue (no Event allocation, no heap trip).
             if target._exception is not None:
                 target._failure_observed = True
-            immediate = Event(self.engine)
-            immediate._value = target._value
-            immediate._exception = target._exception
-            immediate._triggered = True
-            self.engine._schedule(immediate, delay=0.0)
-            immediate.callbacks.append(self._resume)
+            self.engine._defer(self._resume, target)
         else:
             target.callbacks.append(self._resume)
 
@@ -220,7 +284,7 @@ class AllOf(_Composite):
             return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed([child._value for child in self.events])
+            self._succeed_processed([child._value for child in self.events])
 
 
 class AnyOf(_Composite):
@@ -235,7 +299,7 @@ class AnyOf(_Composite):
             event._failure_observed = True
             self.fail(event._exception)
             return
-        self.succeed(event._value)
+        self._succeed_processed(event._value)
 
 
 class Engine:
@@ -246,12 +310,25 @@ class Engine:
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._failed_events: list[Event] = []
+        # Zero-delay continuations, merged with the heap by (time, seq).
+        self._deferred: deque[tuple[float, int, Callable[[Event], None], Event]] = deque()
+        # Shared trigger for process bootstraps: value/exception are
+        # always None and never mutated.
+        self._init_event = Event(self)
+        self._init_event._triggered = True
+        self._init_event._processed = True
 
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
         self._sequence += 1
         heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def _defer(self, callback: Callable[[Event], None], event: Event) -> None:
+        """Queue ``callback(event)`` to run at the current time, ordered as
+        if it had been scheduled on the heap right now."""
+        self._sequence = sequence = self._sequence + 1
+        self._deferred.append((self.now, sequence, callback, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event firing ``delay`` simulated seconds from now."""
@@ -274,15 +351,28 @@ class Engine:
     # -- execution ----------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event in the queue."""
-        when, _seq, event = heapq.heappop(self._queue)
+        """Process the single next event (deferred continuation or heap)."""
+        deferred = self._deferred
+        queue = self._queue
+        if deferred:
+            head = deferred[0]
+            if not queue or head[0] < queue[0][0] or (
+                head[0] == queue[0][0] and head[1] < queue[0][1]
+            ):
+                deferred.popleft()
+                self.now = head[0]
+                head[2](head[3])
+                return
+        when, _seq, event = heapq.heappop(queue)
         if when < self.now:
             raise SimulationError("event scheduled in the past; kernel invariant broken")
         self.now = when
-        event._mark_processed()
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        event._processed = True
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
         if event._exception is not None and not event._failure_observed:
             # Remember failures nobody has seen yet; run() raises them at the
             # end unless a waiter observes them in the meantime.
@@ -297,16 +387,70 @@ class Engine:
         """
         if isinstance(until, Event):
             target = until
+            queue = self._queue
+            deferred = self._deferred
+            heappop = heapq.heappop
             while not target._processed:
-                if not self._queue:
+                if deferred:
+                    head = deferred[0]
+                    if (not queue or head[0] < queue[0][0] or
+                            (head[0] == queue[0][0] and head[1] < queue[0][1])):
+                        deferred.popleft()
+                        self.now = head[0]
+                        head[2](head[3])
+                        continue
+                elif not queue:
                     raise SimulationError(
                         "simulation queue drained before the awaited event fired (deadlock)"
                     )
-                self.step()
+                when, _seq, event = heappop(queue)
+                if when < self.now:
+                    raise SimulationError(
+                        "event scheduled in the past; kernel invariant broken")
+                self.now = when
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                if event._exception is not None and not event._failure_observed:
+                    self._failed_events.append(event)
             return target.value
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # Inlined step loop with localized lookups: this is the hottest
+        # code in the repository (every simulated event passes through).
+        queue = self._queue
+        deferred = self._deferred
+        heappop = heapq.heappop
+        while True:
+            if deferred:
+                head = deferred[0]
+                if (not queue or head[0] < queue[0][0] or
+                        (head[0] == queue[0][0] and head[1] < queue[0][1])):
+                    if head[0] > deadline:
+                        break
+                    deferred.popleft()
+                    self.now = head[0]
+                    head[2](head[3])
+                    continue
+            elif not queue or queue[0][0] > deadline:
+                break
+            if queue[0][0] > deadline:
+                break
+            when, _seq, event = heappop(queue)
+            if when < self.now:
+                raise SimulationError(
+                    "event scheduled in the past; kernel invariant broken")
+            self.now = when
+            event._processed = True
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
+            if event._exception is not None and not event._failure_observed:
+                self._failed_events.append(event)
         if until is not None:
             self.now = max(self.now, deadline)
         self.raise_unobserved_failures()
@@ -323,8 +467,9 @@ class Engine:
         the host and devices were doing simply never completes.  Returns
         the number of events discarded.
         """
-        discarded = len(self._queue)
+        discarded = len(self._queue) + len(self._deferred)
         self._queue.clear()
+        self._deferred.clear()
         self._failed_events.clear()
         return discarded
 

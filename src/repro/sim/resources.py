@@ -49,11 +49,17 @@ class Resource:
         return len(self._waiting)
 
     def request(self) -> Request:
-        """Return an event that fires once a slot is granted to the caller."""
+        """Return an event that fires once a slot is granted to the caller.
+
+        Uncontended requests are granted synchronously — the returned
+        event is already processed, so a waiter that yields it resumes
+        via the kernel's deferred queue without any heap scheduling.
+        """
         req = Request(self.engine, self)
         if self._in_use < self.capacity:
             self._in_use += 1
-            req.succeed()
+            req._triggered = True
+            req._processed = True
         else:
             self._waiting.append(req)
         return req
@@ -80,8 +86,11 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release() called more times than slots were granted")
         if self._waiting:
+            # Hand the slot straight to the next waiter: mark its request
+            # processed and defer its callbacks — same (time, sequence)
+            # position a heap round-trip would give, without the heap.
             successor = self._waiting.popleft()
-            successor.succeed()
+            successor._succeed_processed()
         else:
             self._in_use -= 1
 
@@ -108,18 +117,29 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Insert ``item``; wakes the oldest blocked getter, if any."""
+        """Insert ``item``; wakes the oldest blocked getter, if any.
+
+        The wake-up takes the deferred fast path: the getter's event is
+        processed in place and its waiter resumes without a heap trip.
+        """
         if self._getters:
             getter = self._getters.popleft()
-            getter.succeed(item)
+            getter._succeed_processed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
-        """Return an event that fires with the oldest item once available."""
+        """Return an event that fires with the oldest item once available.
+
+        When an item is already buffered the returned event is processed
+        synchronously (no scheduling); a yielding consumer resumes via
+        the kernel's deferred queue.
+        """
         event = Event(self.engine)
         if self._items:
-            event.succeed(self._items.popleft())
+            event._value = self._items.popleft()
+            event._triggered = True
+            event._processed = True
         else:
             self._getters.append(event)
         return event

@@ -69,6 +69,10 @@ class BlockSSD:
         # mutate post-reboot state when the garbage collector finalizes
         # their generators (finally blocks run at arbitrary times).
         self._epoch = 0
+        # Long-lived NAND program batch shared by the destage workers:
+        # destage writes reuse one worker process per die instead of
+        # spawning an FTL-write + program process per page.
+        self._destage_batch = self.flash.program_batch()
         for _ in range(profile.destage_workers):
             engine.process(self._destage_worker(), name=f"{profile.name}-destager")
         # Hook point for the 2B LBA checker; None on plain block SSDs.
@@ -274,6 +278,9 @@ class BlockSSD:
         self._empty_waiters.clear()
         self._cmd_slots = Resource(self.engine, self.profile.queue_parallelism)
         self._destage_queue = Store(self.engine)
+        # The pre-crash batch's die workers died with the purged event
+        # queue (their pending die claims point at retired resources).
+        self._destage_batch = self.flash.program_batch()
         for lpn in self._dirty:
             self._destage_queue.put(lpn)
         for _ in range(self.profile.destage_workers):
@@ -314,6 +321,21 @@ class BlockSSD:
             self._destage_queue.put(lpn)
         self._dirty[lpn] = page
 
+    def _destage_write(self, lpn: int, page: bytes) -> Event:
+        """Issue one destage write; returns the event the worker waits on.
+
+        The common case streams the page into the shared NAND program
+        batch (no per-page process).  When the FTL must stall on
+        foreground GC, :meth:`~repro.ftl.pagemap.PageMapFTL.write_submit`
+        falls back to the per-page write process, which is returned
+        instead — stalling only this worker, as before.
+        """
+        completion = self.engine.event()
+        fallback = self.ftl.write_submit(
+            lpn, page, self._destage_batch,
+            on_done=lambda _token: completion._succeed_processed())
+        return completion if fallback is None else fallback
+
     def _destage_worker(self) -> Iterator[Event]:
         epoch = self._epoch
         while True:
@@ -329,7 +351,7 @@ class BlockSSD:
                 continue  # superseded before we got to it
             self._destaging[lpn] = page
             try:
-                yield self.engine.process(self.ftl.write(lpn, page))
+                yield self._destage_write(lpn, page)
             finally:
                 if epoch == self._epoch:
                     # Skip cleanup for pre-crash zombies: the GC may run

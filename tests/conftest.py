@@ -6,3 +6,7 @@ def pytest_configure(config):
         "markers",
         "soak: long whole-system soak tests (deselect with -m \"not soak\")",
     )
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock performance measurements (deselect with -m \"not perf\")",
+    )

@@ -1,0 +1,194 @@
+"""Kernel fast-path semantics: the deferred-continuation queue.
+
+The optimized kernel resumes waiters of already-processed events (granted
+resource requests, buffered store gets, completed processes) through a
+deferred-callback queue instead of a heap round-trip.  Deferred entries
+take sequence numbers from the same counter as heap events and are merged
+by ``(time, sequence)``, so execution order must be exactly what the
+heap-only kernel produced.  These tests pin that contract.
+"""
+
+import pytest
+
+from repro.sim import Engine, Resource, Store
+from repro.sim.engine import SimulationError
+
+
+def test_already_processed_event_resumes_in_sequence_order():
+    """A waiter on a pre-processed event resumes before later-scheduled
+    work at the same instant — the position a heap trip would give it."""
+    engine = Engine()
+    store = Store(engine)
+    store.put("x")
+    log = []
+
+    def fast():
+        yield store.get()  # already-processed event: deferred resume
+        log.append("fast")
+
+    def slow():
+        yield engine.timeout(0.0)  # heap event at the same (time 0) instant
+        log.append("slow")
+
+    engine.process(fast())
+    engine.process(slow())
+    engine.run()
+    assert log == ["fast", "slow"]
+
+
+def test_yielding_an_already_completed_process_returns_its_value():
+    engine = Engine()
+
+    def child():
+        return 7
+        yield  # pragma: no cover - makes this a generator
+
+    def parent():
+        proc = engine.process(child())
+        yield engine.timeout(1.0)  # child completed long ago
+        value = yield proc
+        return value
+
+    assert engine.run_process(parent()) == 7
+
+
+def test_failed_already_processed_process_raises_in_waiter():
+    engine = Engine()
+
+    class Boom(Exception):
+        pass
+
+    def child():
+        yield engine.timeout(0.1)
+        raise Boom()
+
+    def parent():
+        proc = engine.process(child())
+        yield engine.timeout(1.0)
+        try:
+            yield proc
+        except Boom:
+            return "caught"
+        return "missed"
+
+    assert engine.run_process(parent()) == "caught"
+
+
+def test_process_completion_value_propagates_through_fast_path():
+    engine = Engine()
+
+    def child():
+        yield engine.timeout(0.1)
+        return 42
+
+    def parent():
+        value = yield engine.process(child())
+        return value * 2
+
+    assert engine.run_process(parent()) == 84
+
+
+def test_timeouts_at_equal_deadline_fire_in_creation_order():
+    engine = Engine()
+    log = []
+
+    def sleeper(tag, delay):
+        yield engine.timeout(delay)
+        log.append(tag)
+
+    engine.process(sleeper("late", 2.0))
+    engine.process(sleeper("a", 1.0))
+    engine.process(sleeper("b", 1.0))
+    engine.run()
+    assert log == ["a", "b", "late"]
+
+
+def test_deadlock_detection_survives_the_deferred_queue():
+    engine = Engine()
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run(until=engine.event())
+
+
+# -- Resource fast paths -----------------------------------------------------
+
+
+def test_uncontended_request_is_granted_without_scheduling():
+    engine = Engine()
+    resource = Resource(engine, capacity=2)
+    req = resource.request()
+    assert req.triggered and req.processed
+    assert not engine._queue and not engine._deferred
+    assert resource.in_use == 1
+
+
+def test_contended_requests_are_granted_fifo_at_release_time():
+    engine = Engine()
+    resource = Resource(engine)
+    log = []
+
+    def holder():
+        req = resource.request()
+        yield req
+        yield engine.timeout(1.0)
+        resource.release(req)
+
+    def waiter(tag):
+        req = resource.request()
+        yield req
+        log.append((tag, engine.now))
+        resource.release(req)
+
+    engine.process(holder())
+    for tag in range(3):
+        engine.process(waiter(tag))
+    engine.run()
+    assert [tag for tag, _ in log] == [0, 1, 2]
+    assert all(now == 1.0 for _, now in log)
+
+
+def test_release_of_never_granted_request_cancels_it():
+    engine = Engine()
+    resource = Resource(engine)
+    held = resource.request()
+    queued = resource.request()
+    assert not queued.triggered
+    resource.release(queued)  # cancel, not a slot release
+    assert resource.queue_length == 0
+    assert resource.in_use == 1
+    resource.release(held)
+    assert resource.in_use == 0
+
+
+# -- Store fast paths --------------------------------------------------------
+
+
+def test_store_get_on_buffered_item_completes_synchronously():
+    engine = Engine()
+    store = Store(engine)
+    store.put(1)
+    store.put(2)
+    first, second = store.get(), store.get()
+    assert first.processed and first.value == 1
+    assert second.processed and second.value == 2
+    assert not engine._queue and not engine._deferred
+
+
+def test_store_wakes_blocked_getters_fifo():
+    engine = Engine()
+    store = Store(engine)
+    log = []
+
+    def getter(tag):
+        item = yield store.get()
+        log.append((tag, item, engine.now))
+
+    def putter():
+        yield engine.timeout(0.5)
+        store.put("x")
+        store.put("y")
+
+    engine.process(getter("a"))
+    engine.process(getter("b"))
+    engine.process(putter())
+    engine.run()
+    assert log == [("a", "x", 0.5), ("b", "y", 0.5)]

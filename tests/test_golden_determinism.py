@@ -1,0 +1,26 @@
+"""Golden determinism: fixed seeds must keep producing bit-identical stats.
+
+The fixtures under ``tests/golden/`` were captured from the seed code
+*before* the kernel fast paths and NAND batching landed; every scenario
+re-runs the same fixed-seed workload and must serialize to the exact same
+bytes.  Any drift means an optimization changed simulated behaviour, not
+just wall-clock time.  Regenerate intentionally (and only intentionally)
+with ``PYTHONPATH=src python -m repro.bench.golden --update``.
+"""
+
+import pytest
+
+from repro.bench import golden
+
+
+@pytest.mark.parametrize("name", sorted(golden.SCENARIOS))
+def test_golden_scenario_is_bit_identical(name):
+    path = golden.GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"golden fixture missing: {path} "
+        "(generate with: python -m repro.bench.golden --update)"
+    )
+    assert golden.run_scenario(name) == path.read_text(), (
+        f"scenario {name!r} diverged from its golden fixture — an "
+        "optimization changed simulated behaviour"
+    )
