@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# The full local gate: domain lint -> generic lint -> typing -> tests.
+#
+#   scripts/check.sh          # everything (tier-1 includes the soak tests)
+#   scripts/check.sh --fast   # deselect the soak tests
+#
+# ruff and mypy are optional in minimal images; they run when importable
+# and are reported as skipped otherwise (the configured baselines in
+# pyproject.toml must stay clean wherever the tools exist).
+
+set -u
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+failures=0
+
+step() {
+    echo "==> $1"
+    shift
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $*"
+        failures=$((failures + 1))
+    fi
+}
+
+step "repro lint (determinism/kernel/observability)" \
+    python -m repro lint src/repro
+
+if python -c "import ruff" 2>/dev/null; then
+    step "ruff (generic lint baseline)" python -m ruff check src/repro
+else
+    echo "==> ruff: not installed, skipping (baseline in pyproject.toml)"
+fi
+
+if python -c "import mypy" 2>/dev/null; then
+    step "mypy (typing baseline)" python -m mypy src/repro
+else
+    echo "==> mypy: not installed, skipping (baseline in pyproject.toml)"
+fi
+
+if [ "$fast" = 1 ]; then
+    step "tier-1 tests (fast: no soak)" python -m pytest -x -q -m "not soak" tests/
+else
+    step "tier-1 tests" python -m pytest -x -q tests/
+fi
+
+if [ "$failures" -gt 0 ]; then
+    echo "check.sh: $failures step(s) failed"
+    exit 1
+fi
+echo "check.sh: all gates passed"

@@ -1,0 +1,22 @@
+"""Static and runtime analysis for the dual-path simulator.
+
+Two halves, mirroring how large event-driven simulators keep their
+ordering invariants machine-checked:
+
+* :mod:`repro.analysis.lint` — ``reprolint``, an AST-based determinism
+  linter run as ``repro lint``.  DET rules ban nondeterminism in sim
+  code, SIM rules catch kernel misuse (discarded events, wall-clock
+  blocking), OBS rules enforce the tracing conventions.
+* :mod:`repro.analysis.sanitizer` — ``simsan``, a runtime invariant
+  sanitizer (``--sanitize`` / ``REPRO_SANITIZE=1``): lockset-style die
+  access checking, durability-protocol ordering, mapping-table
+  invariants, and sim-kernel time monotonicity.
+
+Both are zero-cost when off: the linter is a separate pass, and every
+sanitizer hook sits behind a single module-level ``enabled`` bool, the
+same pattern :mod:`repro.obs.tracing` uses.
+"""
+
+from repro.analysis.sanitizer import SanitizerError
+
+__all__ = ["SanitizerError"]

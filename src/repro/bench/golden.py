@@ -23,7 +23,7 @@ import json
 import pathlib
 from typing import Callable, Iterator
 
-from repro.sim.units import KiB, MiB
+from repro.sim.units import KiB
 
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"

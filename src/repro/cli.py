@@ -10,6 +10,12 @@
     python -m repro fig10                # heterogeneous-memory comparison
     python -m repro ablations            # all five+ ablation studies
     python -m repro trace [--json P]     # traced workload, per-span latencies
+    python -m repro lint [paths...]      # determinism/kernel/obs linter
+    python -m repro <cmd> --sanitize     # run with the runtime sanitizer on
+
+Every experiment command accepts ``--sanitize`` (or ``REPRO_SANITIZE=1``)
+to run under the runtime invariant sanitizer — the simulation is
+bit-identical, but protocol violations raise immediately.
 """
 
 from __future__ import annotations
@@ -225,16 +231,28 @@ COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        # The linter owns its own argument grammar (variadic paths,
+        # --select, --list-rules); delegate before the experiment parser.
+        from repro.analysis import lint
+
+        return lint.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="2B-SSD (ISCA 2018) reproduction: run paper experiments.",
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
+    lint_help = "lint src/repro for determinism/kernel/observability hazards"
+    sub.add_parser("lint", help=lint_help, add_help=False)
     for name, (_fn, help_text) in COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--quick", action="store_true",
                          help="smaller run (faster, noisier)")
+        cmd.add_argument("--sanitize", action="store_true",
+                         help="run under the runtime invariant sanitizer "
+                              "(also: REPRO_SANITIZE=1)")
         if name == "report":
             cmd.add_argument("--output", default="REPORT.md",
                              help="report file path (default REPORT.md)")
@@ -257,8 +275,17 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name, (_fn, help_text) in COMMANDS.items():
             print(f"  {name:10s} {help_text}")
+        print(f"  {'lint':10s} {lint_help}")
         return 0
-    COMMANDS[args.command][0](args)
+    from repro.analysis import sanitizer as simsan
+
+    if getattr(args, "sanitize", False) or simsan.env_requested():
+        with simsan.activated() as state:
+            COMMANDS[args.command][0](args)
+        print(f"sanitizer: {state.checks} checks, "
+              f"{state.violations} violations", file=sys.stderr)
+    else:
+        COMMANDS[args.command][0](args)
     return 0
 
 

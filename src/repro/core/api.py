@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.analysis import sanitizer as simsan
 from repro.core.device import TwoBSSD
 from repro.core.mapping_table import BaMappingEntry
 from repro.host.cpu import HostCPU
@@ -102,11 +103,17 @@ class TwoBApiClient:
         if tracing.enabled:
             _t0 = self.engine.now
         entry = yield self.engine.process(self.ba_get_entry_info(entry_id))
-        yield self.engine.process(
-            self.cpu.wc_flush(self.region, entry.offset, entry.length)
-        )
-        lines = self._lines_since_sync.get(entry_id, 0)
-        yield self.engine.process(self.cpu.write_verify_read(lines))
+        if simsan.enabled:
+            simsan.sync_begin(entry_id, self.region, entry.offset, entry.length)
+        try:
+            yield self.engine.process(
+                self.cpu.wc_flush(self.region, entry.offset, entry.length)
+            )
+            lines = self._lines_since_sync.get(entry_id, 0)
+            yield self.engine.process(self.cpu.write_verify_read(lines))
+        finally:
+            if simsan.enabled:
+                simsan.sync_end(entry_id)
         if tracing.enabled:
             tracing.observe("core.api.ba_sync", self.engine.now - _t0)
         self._lines_since_sync[entry_id] = 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
+from repro.analysis import sanitizer as simsan
 from repro.core.errors import PinConflictError
 from repro.core.mapping_table import BaMappingEntry, BaMappingTable
 from repro.core.params import BaParams
@@ -117,6 +118,8 @@ class BaBufferManager:
             yield waiter
             waiter = None
         yield from batch.drain()
+        if simsan.enabled:
+            simsan.check_mapping_table(self.device)
         self.stats.pins += 1
         self.stats.pages_pinned += npages
         return entry
@@ -188,6 +191,8 @@ class BaBufferManager:
         if fallbacks:
             yield engine.all_of(fallbacks)
         self.table.remove(entry_id)
+        if simsan.enabled:
+            simsan.check_mapping_table(self.device)
         self.stats.flushes += 1
         self.stats.pages_flushed += npages
         return entry

@@ -31,6 +31,15 @@ class LbaChecker:
         self._table = table
         self.stats = LbaCheckerStats()
 
+    @property
+    def table(self) -> BaMappingTable:
+        """The mapping table this checker snoops (sanitizer agreement check)."""
+        return self._table
+
+    def would_gate(self, lpn: int, npages: int) -> bool:
+        """Stat-free probe: would a block write to this range be gated?"""
+        return self._table.pinned_lba_overlap(lpn, npages) is not None
+
     def check_write(self, lpn: int, npages: int) -> None:
         """Raise :class:`GatedLbaError` if the write overlaps a pinned range."""
         self.stats.checks += 1

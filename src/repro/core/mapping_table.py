@@ -96,6 +96,56 @@ class BaMappingTable:
         del self._entries[entry_id]
         return entry
 
+    def validate(self) -> list[str]:
+        """Recompute every table invariant from the raw entries.
+
+        Returns human-readable problem descriptions (empty when sound).
+        Deliberately does *not* reuse :meth:`add`'s checks: the runtime
+        sanitizer calls this to catch code that corrupted the table by
+        bypassing ``add`` (or an ``add`` whose validation regressed).
+        """
+        problems: list[str] = []
+        entries = list(self._entries.items())
+        if len(entries) > self.max_entries:
+            problems.append(
+                f"{len(entries)} entries exceed the Table I limit of "
+                f"{self.max_entries}"
+            )
+        for key, entry in entries:
+            if key != entry.entry_id:
+                problems.append(
+                    f"entry keyed {key} carries entry_id {entry.entry_id}"
+                )
+            if entry.length <= 0:
+                problems.append(f"entry {entry.entry_id} has length {entry.length}")
+            if entry.offset < 0 or entry.offset % self.page_size:
+                problems.append(
+                    f"entry {entry.entry_id} offset {entry.offset} is not a "
+                    "page-aligned non-negative offset"
+                )
+            if entry.lba < 0:
+                problems.append(f"entry {entry.entry_id} has negative LBA {entry.lba}")
+            if entry.offset + entry.length > self.buffer_bytes:
+                problems.append(
+                    f"entry {entry.entry_id} range [{entry.offset}, "
+                    f"+{entry.length}) exceeds the {self.buffer_bytes}-byte buffer"
+                )
+        for index, (_key, entry) in enumerate(entries):
+            for _other_key, other in entries[index + 1:]:
+                if self._ranges_overlap(entry.buffer_range(), other.buffer_range()):
+                    problems.append(
+                        f"buffer ranges of entries {entry.entry_id} and "
+                        f"{other.entry_id} overlap"
+                    )
+                if self._ranges_overlap(
+                    entry.lba_range(self.page_size), other.lba_range(self.page_size)
+                ):
+                    problems.append(
+                        f"LBA ranges of entries {entry.entry_id} and "
+                        f"{other.entry_id} overlap"
+                    )
+        return problems
+
     def pinned_lba_overlap(self, lpn: int, npages: int) -> BaMappingEntry | None:
         """Return the entry whose LBA range overlaps ``[lpn, lpn+npages)``, if any."""
         for entry in self._entries.values():

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Iterator, Optional
 
+from repro.analysis import sanitizer as simsan
 from repro.host.memory import ByteRegion, PersistentMemoryRegion
 from repro.host.params import HostParams
 from repro.host.wc import WriteCombiningBuffer
@@ -67,6 +68,8 @@ class HostCPU:
         if tracing.enabled:
             _t0 = self.engine.now
         flushed = self.wc.flush(region, offset, nbytes)
+        if simsan.enabled:
+            simsan.on_wc_flush(region, offset, nbytes)
         yield self.engine.timeout(
             flushed * self.params.clflush_per_line + self.params.mfence
         )
@@ -94,6 +97,8 @@ class HostCPU:
         """
         if tracing.enabled:
             _t0 = self.engine.now
+        if simsan.enabled:
+            simsan.on_write_verify_read(self)
         yield self.engine.process(self.link.non_posted_read(0))
         yield self.engine.timeout(self.params.wvr_cost(lines))
         if tracing.enabled:

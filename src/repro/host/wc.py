@@ -146,6 +146,19 @@ class WriteCombiningBuffer:
             return len(self._lines)
         return sum(1 for key in self._lines if key[0] is region)
 
+    def dirty_lines_in_range(self, region: ByteRegion, offset: int,
+                             nbytes: int) -> int:
+        """Staged lines overlapping ``region[offset:offset+nbytes)`` (the
+        sanitizer's durability probe: these bytes are not yet on the wire)."""
+        if nbytes <= 0:
+            return 0
+        first = offset // self.line_size
+        last = (offset + nbytes - 1) // self.line_size
+        return sum(
+            1 for key in self._lines
+            if key[0] is region and first <= key[1] <= last
+        )
+
     # -- failure -------------------------------------------------------------------
 
     def power_loss(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.analysis import sanitizer as simsan
 from repro.obs import tracing
 from repro.sim import Engine, Resource, RngStreams, Store
 from repro.sim.engine import Event, Process
@@ -183,6 +184,8 @@ class FlashArray:
         die_res = self._die_resource(addr.channel, addr.die)
         die_req = die_res.request()
         yield die_req
+        if simsan.enabled:
+            simsan.die_op_begin(self, addr, die_res, die_req, "read")
         try:
             for _sense in range(1 + retries):
                 yield self.engine.timeout(self.timing.sample_read(self._rng))
@@ -194,6 +197,8 @@ class FlashArray:
             finally:
                 channel_res.release(chan_req)
         finally:
+            if simsan.enabled:
+                simsan.die_op_end(self, addr, die_res, die_req, "read")
             die_res.release(die_req)
         self.stats.page_reads += 1
         self.stats.read_retries += retries
@@ -214,6 +219,8 @@ class FlashArray:
         die_res = self._die_resource(addr.channel, addr.die)
         die_req = die_res.request()
         yield die_req
+        if simsan.enabled:
+            simsan.die_op_begin(self, addr, die_res, die_req, "program")
         try:
             # Protocol checks run once the die is held, i.e. after every
             # earlier operation on this die has completed, so concurrent
@@ -236,6 +243,8 @@ class FlashArray:
                 channel_res.release(chan_req)
             yield self.engine.timeout(self.timing.sample_program(self._rng))
         finally:
+            if simsan.enabled:
+                simsan.die_op_end(self, addr, die_res, die_req, "program")
             die_res.release(die_req)
         padded = data if len(data) == self.geometry.page_size else (
             data + bytes(self.geometry.page_size - len(data))
@@ -318,9 +327,14 @@ class FlashArray:
         die_res = self._die_resource(channel, die)
         die_req = die_res.request()
         yield die_req
+        erase_addr = PageAddress(channel, die, block, 0)
+        if simsan.enabled:
+            simsan.die_op_begin(self, erase_addr, die_res, die_req, "erase")
         try:
             yield self.engine.timeout(self.timing.sample_erase(self._rng))
         finally:
+            if simsan.enabled:
+                simsan.die_op_end(self, erase_addr, die_res, die_req, "erase")
             die_res.release(die_req)
         base = self.geometry.ppn(channel, die, block, 0)
         for page in state.programmed:
@@ -442,6 +456,8 @@ class NandReadBatch(_NandBatch):
             die_req, ppn, addr, retries, on_data, token, t0 = item
             try:
                 yield die_req
+                if simsan.enabled:
+                    simsan.die_op_begin(array, addr, die_res, die_req, "read")
                 try:
                     for _sense in range(1 + retries):
                         yield engine.timeout(timing.sample_read(rng))
@@ -453,6 +469,8 @@ class NandReadBatch(_NandBatch):
                     finally:
                         channel_res.release(chan_req)
                 finally:
+                    if simsan.enabled:
+                        simsan.die_op_end(array, addr, die_res, die_req, "read")
                     die_res.release(die_req)
             except BaseException:
                 self._abort(queue, die_res)
@@ -504,6 +522,8 @@ class NandProgramBatch(_NandBatch):
             state = array._block_state(addr.channel, addr.die, addr.block)
             try:
                 yield die_req
+                if simsan.enabled:
+                    simsan.die_op_begin(array, addr, die_res, die_req, "program")
                 try:
                     if addr.page in state.programmed:
                         raise NandProtocolError(
@@ -526,6 +546,8 @@ class NandProgramBatch(_NandBatch):
                         channel_res.release(chan_req)
                     yield engine.timeout(timing.sample_program(rng))
                 finally:
+                    if simsan.enabled:
+                        simsan.die_op_end(array, addr, die_res, die_req, "program")
                     die_res.release(die_req)
             except BaseException:
                 self._abort(queue, die_res)

@@ -37,9 +37,20 @@ from collections import deque
 from collections.abc import Generator
 from typing import Any, Callable, Optional
 
+from repro.analysis import sanitizer as simsan
+
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (e.g. re-triggering an event)."""
+
+
+def _past_continuation(engine: "Engine", when: float) -> BaseException:
+    """The error for a deferred continuation that sits behind ``now``."""
+    if simsan.enabled:
+        return simsan.past_continuation(engine, when)
+    return SimulationError(
+        "deferred continuation scheduled in the past; kernel invariant broken"
+    )
 
 
 class Event:
@@ -321,6 +332,8 @@ class Engine:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
+        if simsan.enabled:
+            simsan.check_schedule(self, delay)
         self._sequence += 1
         heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
 
@@ -360,6 +373,8 @@ class Engine:
                 head[0] == queue[0][0] and head[1] < queue[0][1]
             ):
                 deferred.popleft()
+                if head[0] < self.now:
+                    raise _past_continuation(self, head[0])
                 self.now = head[0]
                 head[2](head[3])
                 return
@@ -396,6 +411,8 @@ class Engine:
                     if (not queue or head[0] < queue[0][0] or
                             (head[0] == queue[0][0] and head[1] < queue[0][1])):
                         deferred.popleft()
+                        if head[0] < self.now:
+                            raise _past_continuation(self, head[0])
                         self.now = head[0]
                         head[2](head[3])
                         continue
@@ -431,6 +448,8 @@ class Engine:
                     if head[0] > deadline:
                         break
                     deferred.popleft()
+                    if head[0] < self.now:
+                        raise _past_continuation(self, head[0])
                     self.now = head[0]
                     head[2](head[3])
                     continue

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterator
 
+from repro.analysis import sanitizer as simsan
 from repro.sim.engine import Engine, Event, SimulationError
 
 
@@ -60,6 +61,8 @@ class Resource:
             self._in_use += 1
             req._triggered = True
             req._processed = True
+            if simsan.enabled:
+                simsan.on_grant(req)
         else:
             self._waiting.append(req)
         return req
@@ -90,9 +93,14 @@ class Resource:
             # processed and defer its callbacks — same (time, sequence)
             # position a heap round-trip would give, without the heap.
             successor = self._waiting.popleft()
+            if simsan.enabled:
+                simsan.on_release(request)
+                simsan.on_grant(successor)
             successor._succeed_processed()
         else:
             self._in_use -= 1
+            if simsan.enabled:
+                simsan.on_release(request)
 
     def acquire(self, work: Iterator[Event]) -> Iterator[Event]:
         """Run generator ``work`` while holding one slot (request/release wrapper)."""

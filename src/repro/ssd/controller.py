@@ -16,10 +16,9 @@ controller owns queue lifecycle and the register file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
-from repro.pcie.bar import BarAccessError, BarWindow
+from repro.pcie.bar import BarWindow
 from repro.sim import Engine
 from repro.ssd.device import BlockSSD
 from repro.ssd.nvme import CompletionMode, NvmeQueuePair

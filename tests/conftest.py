@@ -1,5 +1,25 @@
 """Shared pytest configuration for the tier-1 suite."""
 
+import pytest
+
+from repro.analysis import sanitizer as simsan
+from repro.platform import Platform
+
+
+@pytest.fixture
+def sanitized_device():
+    """A full :class:`Platform` running under the runtime sanitizer.
+
+    Every die access, durability step, and mapping-table mutation is
+    invariant-checked; violations raise :class:`SanitizerError` at the
+    offending simulated instant.  The sanitizer state is restored on
+    teardown so other tests see it disabled.
+    """
+    with simsan.activated() as state:
+        platform = Platform(seed=1234)
+        platform.sanitizer_state = state
+        yield platform
+
 
 def pytest_configure(config):
     config.addinivalue_line(

@@ -1,0 +1,26 @@
+"""Fixture: one known violation per DET rule (determinism hazards).
+
+Line numbers matter — tests/test_reprolint.py asserts rule IDs against
+this file.  Keep each violation on its own clearly-marked line.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def hazards(engine, dies):
+    started = time.perf_counter()  # DET001
+    stamp = datetime.now()  # DET001
+    jitter = random.random()  # DET002
+    seed = os.urandom(8)  # DET003
+    for die in {0, 1, 2}:  # DET004
+        engine.process(idle(die))
+    bucket = hash("stable-key")  # DET005
+    ordered = sorted(dies, key=id)  # DET006
+    return started, stamp, jitter, seed, bucket, ordered
+
+
+def idle(die):
+    yield die

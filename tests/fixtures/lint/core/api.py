@@ -1,0 +1,24 @@
+"""Fixture: OBS-class violations in a file shaped like core/api.py.
+
+The linter keys OBS101 off the ``core/api.py`` path suffix, so this
+fixture lives under a ``core/`` directory.
+"""
+
+from repro.obs import tracing
+
+
+class FakeApi:
+    def ba_pin(self, entry_id):  # OBS101: no tracing span/observe at all
+        yield self.engine.timeout(1e-6)
+        return entry_id
+
+    def ba_flush(self, entry_id):
+        tracing.observe("core.api.ba_flush", 1.0)  # OBS102: unguarded
+        yield self.engine.timeout(1e-6)
+        return entry_id
+
+    def ba_sync(self, entry_id):
+        if tracing.enabled:
+            tracing.observe("BA SYNC LATENCY", 1.0)  # OBS103: bad span name
+        yield self.engine.timeout(1e-6)
+        return entry_id

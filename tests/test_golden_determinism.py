@@ -10,6 +10,7 @@ with ``PYTHONPATH=src python -m repro.bench.golden --update``.
 
 import pytest
 
+from repro.analysis import sanitizer as simsan
 from repro.bench import golden
 
 
@@ -23,4 +24,22 @@ def test_golden_scenario_is_bit_identical(name):
     assert golden.run_scenario(name) == path.read_text(), (
         f"scenario {name!r} diverged from its golden fixture — an "
         "optimization changed simulated behaviour"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(golden.SCENARIOS))
+def test_golden_scenario_is_bit_identical_under_sanitizer(name):
+    """The runtime sanitizer is bookkeeping-only: enabling it must not
+    perturb a single simulated byte, and the full-system scenarios must
+    produce zero violations (no false positives on correct code)."""
+    path = golden.GOLDEN_DIR / f"{name}.json"
+    with simsan.activated() as state:
+        output = golden.run_scenario(name)
+    assert output == path.read_text(), (
+        f"scenario {name!r} diverged when the sanitizer was enabled — "
+        "a sanitizer hook is changing simulated behaviour"
+    )
+    assert state.checks > 0, "sanitizer hooks never fired during a full run"
+    assert state.violations == 0, (
+        f"sanitizer false positives on the golden {name!r} scenario"
     )

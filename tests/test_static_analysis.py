@@ -1,0 +1,76 @@
+"""Static-analysis gates for the whole tree (tier-1).
+
+``repro lint`` must pass on ``src/repro`` unconditionally — it is pure
+stdlib and always available.  ruff and mypy are configured in
+``pyproject.toml`` but are optional in this environment; when installed
+they must also pass on the configured baseline, and when absent their
+gates skip rather than fail (no network installs in CI images).
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def tool_available(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+class TestReprolintGate:
+    def test_src_tree_is_lint_clean_in_process(self):
+        from repro.analysis import lint
+
+        violations = lint.lint_paths([SRC])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_cli_exit_code_clean_tree(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(SRC)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_cli_exit_code_dirty_tree(self):
+        fixtures = REPO / "tests" / "fixtures" / "lint"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(fixtures)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 1
+        assert "DET001" in result.stdout
+
+
+class TestRuffGate:
+    @pytest.mark.skipif(not tool_available("ruff"), reason="ruff not installed")
+    def test_ruff_baseline_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "ruff", "check", str(SRC)],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_ruff_config_present(self):
+        config = (REPO / "pyproject.toml").read_text()
+        assert "[tool.ruff" in config
+
+
+class TestMypyGate:
+    @pytest.mark.skipif(not tool_available("mypy"), reason="mypy not installed")
+    def test_mypy_baseline_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "mypy", str(SRC)],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_mypy_config_present(self):
+        config = (REPO / "pyproject.toml").read_text()
+        assert "[tool.mypy]" in config
