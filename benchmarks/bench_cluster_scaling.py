@@ -1,0 +1,140 @@
+"""Cluster: aggregate append throughput across pool size, RF, and clients.
+
+The paper's Table I budget caps one 2B-SSD at four concurrent BA-WAL
+streams; ``repro.cluster`` shards streams across a pool instead.  This
+bench sweeps the three axes that matter for the pool:
+
+* **devices** at fixed client load — the headline scaling claim.  One
+  device forces half the 8 streams onto block-WAL fallback; four devices
+  keep every leg byte-addressable, so aggregate throughput grows well
+  over the 3x acceptance floor.
+* **replication factor** on a fixed pool — what quorum durability costs.
+  The first replica moves the commit path from a local BA_SYNC to an
+  interconnect round-trip plus a remote BA_SYNC; replicas beyond that
+  ack in parallel, so RF=3 costs barely more than RF=2.  (This sweep
+  runs 4 streams so every leg stays byte-addressable at every RF —
+  otherwise BA-budget fallback would confound the quorum cost.)
+* **clients per stream** — closed-loop concurrency inside one pool;
+  appends from different streams proceed on different devices.
+
+Throughput here is *simulated* records/sec (deterministic, unlike the
+wall-clock sections of ``BENCH_wallclock.json`` — the cluster section
+there reuses these numbers via ``repro.bench.wallclock``).
+"""
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.wallclock import CLUSTER_LOAD, TARGETS
+from repro.cluster import DevicePool, run_replicated_logging
+
+DEVICE_COUNTS = (1, 2, 4)
+REPLICA_COUNTS = (1, 2, 3)
+CLIENT_COUNTS = (1, 2, 4)
+
+
+def run_config(devices, replicas=None, clients=None, streams=None):
+    load = dict(CLUSTER_LOAD)
+    seed = load.pop("seed")
+    if replicas is not None:
+        load["replicas"] = replicas
+    if clients is not None:
+        load["clients_per_stream"] = clients
+    if streams is not None:
+        load["streams"] = streams
+    pool = DevicePool(devices=devices, seed=seed)
+    return run_replicated_logging(pool, **load)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        "devices": {d: run_config(d) for d in DEVICE_COUNTS},
+        # 4 streams x RF=3 = 12 legs <= 16 BA pairs: no fallback at any RF.
+        "replicas": {r: run_config(4, replicas=r, streams=4)
+                     for r in REPLICA_COUNTS},
+        "clients": {c: run_config(4, replicas=2, clients=c)
+                    for c in CLIENT_COUNTS},
+    }
+
+
+def bench_cluster_scaling(benchmark, report, sweep):
+    benchmark.pedantic(lambda: run_config(2), rounds=1, iterations=1)
+    base = sweep["devices"][DEVICE_COUNTS[0]].records_per_sec
+    rows = [
+        (f"{d} device(s)", f"{r.records_per_sec:,.0f}",
+         f"{r.ba_legs}/{r.ba_legs + r.block_legs}",
+         f"{r.records_per_sec / base:.2f}x")
+        for d, r in sweep["devices"].items()
+    ]
+    report("cluster_device_scaling", format_table(
+        "Cluster: aggregate append throughput vs pool size (RF=1, fixed load)",
+        ["pool", "records/s", "BA legs", "vs 1 device"], rows,
+    ))
+    rf_base = sweep["replicas"][1].records_per_sec
+    rows = [
+        (f"RF={r}", f"{res.records_per_sec:,.0f}",
+         f"{res.records_per_sec / rf_base:.2f}x")
+        for r, res in sweep["replicas"].items()
+    ]
+    report("cluster_replication_cost", format_table(
+        "Cluster: quorum replication cost on a 4-device pool",
+        ["replication", "records/s", "vs RF=1"], rows,
+    ))
+    rows = [
+        (f"{c} client(s)/stream", f"{res.records_acked}",
+         f"{res.records_per_sec:,.0f}")
+        for c, res in sweep["clients"].items()
+    ]
+    report("cluster_client_scaling", format_table(
+        "Cluster: client concurrency on a 4-device pool (RF=2)",
+        ["clients", "records acked", "records/s"], rows,
+    ))
+
+
+class TestDeviceScaling:
+    def test_four_devices_meet_scaling_floor(self, sweep):
+        base = sweep["devices"][1].records_per_sec
+        top = sweep["devices"][4].records_per_sec
+        assert top / base >= TARGETS["cluster_scaling_min"]
+
+    def test_throughput_monotone_in_pool_size(self, sweep):
+        series = [sweep["devices"][d].records_per_sec for d in DEVICE_COUNTS]
+        assert series == sorted(series)
+
+    def test_fallbacks_vanish_with_enough_devices(self, sweep):
+        assert sweep["devices"][1].block_legs > 0
+        assert sweep["devices"][4].block_legs == 0
+
+
+class TestReplicationCost:
+    def test_every_rf_acks_the_full_load(self, sweep):
+        load = CLUSTER_LOAD
+        expected = 4 * load["clients_per_stream"] * load["records_per_client"]
+        for result in sweep["replicas"].values():
+            assert result.records_acked == expected
+
+    def test_no_fallback_confound_in_rf_sweep(self, sweep):
+        for result in sweep["replicas"].values():
+            assert result.block_legs == 0
+
+    def test_first_replica_pays_the_round_trip(self, sweep):
+        # RF=1 commits with a local BA_SYNC; RF=2 adds an interconnect
+        # round-trip plus a remote BA_SYNC to every commit.
+        assert (sweep["replicas"][2].records_per_sec
+                < sweep["replicas"][1].records_per_sec)
+
+    def test_additional_replicas_are_nearly_free(self, sweep):
+        # Replica acks pipeline in parallel: RF=3 costs barely more
+        # than RF=2, nothing like another full round-trip.
+        r2 = sweep["replicas"][2].records_per_sec
+        r3 = sweep["replicas"][3].records_per_sec
+        assert r3 > 0.8 * r2
+
+
+class TestClientScaling:
+    def test_acked_records_track_client_count(self, sweep):
+        load = CLUSTER_LOAD
+        for clients, result in sweep["clients"].items():
+            assert result.records_acked == (
+                load["streams"] * clients * load["records_per_client"])

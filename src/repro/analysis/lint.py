@@ -62,7 +62,18 @@ RULES: dict[str, str] = {
     "OBS102": "tracing.observe/count call not guarded by 'if "
               "tracing.enabled' (costs allocations when tracing is off)",
     "OBS103": "span name is not dotted lowercase 'layer.module.op'",
+    "OBS104": "span/counter name uses an unregistered layer namespace "
+              "(see SPAN_NAMESPACES)",
 }
+
+#: First-segment namespaces a span or counter name may use.  Keeping the
+#: set closed catches typo'd layers ("custer.append") and forces new
+#: subsystems to register here — which is how docs/observability.md stays
+#: the complete span-name index.
+SPAN_NAMESPACES: frozenset[str] = frozenset({
+    "core", "host", "pcie", "ssd", "nand", "ftl", "wal", "fs", "db",
+    "cluster",
+})
 
 #: Path-pattern exemptions (fnmatch on the posix path), each justified:
 #: the wall-clock harness *measures* wall time — that is its job.
@@ -334,6 +345,14 @@ class _FileLinter(ast.NodeVisitor):
                                  f"span name {first.value!r} does not follow "
                                  "the dotted lowercase 'layer.module.op' "
                                  "convention")
+                elif first.value.split(".", 1)[0] not in SPAN_NAMESPACES:
+                    # Only meaningful for well-formed names; a malformed
+                    # name already fired OBS103 above.
+                    self._report(first, "OBS104",
+                                 f"span name {first.value!r} starts with "
+                                 f"{first.value.split('.', 1)[0]!r}, not a "
+                                 "registered layer namespace "
+                                 f"({', '.join(sorted(SPAN_NAMESPACES))})")
 
 
 def _is_negative_literal(node: ast.AST) -> bool:

@@ -10,6 +10,7 @@
     python -m repro fig10                # heterogeneous-memory comparison
     python -m repro ablations            # all five+ ablation studies
     python -m repro trace [--json P]     # traced workload, per-span latencies
+    python -m repro cluster              # replicated logging on a device pool
     python -m repro lint [paths...]      # determinism/kernel/obs linter
     python -m repro <cmd> --sanitize     # run with the runtime sanitizer on
 
@@ -174,6 +175,57 @@ def _cmd_trace(args) -> None:
         print(f"wrote {args.csv}")
 
 
+def _cmd_cluster(args) -> None:
+    """Run a traced replicated-logging demo on the device pool and print
+    the merged cluster stats + per-span latency table."""
+    from repro.cluster import DevicePool, run_replicated_logging
+    from repro.obs import tracing
+
+    devices = args.devices
+    records = 16 if args.quick else args.records
+    with tracing.activated() as tracer:
+        pool = DevicePool(devices=devices, seed=args.seed)
+        result = run_replicated_logging(
+            pool,
+            streams=args.streams,
+            clients_per_stream=args.clients,
+            records_per_client=records,
+            payload_bytes=args.payload,
+            replicas=args.replicas,
+        )
+        report = pool.collect_stats(tracer=tracer)
+    print(format_table(
+        f"Cluster run: {devices} devices, RF={args.replicas}, "
+        f"{args.streams} streams x {args.clients} clients",
+        ["metric", "value"],
+        [
+            ("records acked", f"{result.records_acked:,}"),
+            ("simulated seconds", f"{result.sim_seconds * 1e3:.3f} ms"),
+            ("throughput", f"{result.records_per_sec:,.0f} records/s"),
+            ("BA legs / block legs", f"{result.ba_legs} / {result.block_legs}"),
+            ("fabric messages", report["interconnect"]["messages"]),
+            ("fabric bytes", f"{report['interconnect']['bytes_sent']:,}"),
+        ],
+    ))
+    print()
+    rows = [
+        (name, payload["count"], format_us(payload["mean"]),
+         format_us(payload["p50"]), format_us(payload["p99"]))
+        for name, payload in report["tracing"]["histograms"].items()
+        if name.startswith("cluster.") or name.startswith("wal.")
+    ]
+    print(format_table("Cluster and WAL spans",
+                       ["span", "samples", "mean", "p50", "p99"], rows))
+    print()
+    synced = sorted(
+        (key, stats["ba_buffer"]["pinned_entries"])
+        for key, stats in report["devices"].items()
+        if "ba_buffer" in stats
+    )
+    print(format_table("Per-device pinned entries (merged view)",
+                       ["device", "pinned"], synced))
+
+
 def _cmd_perf(args) -> None:
     """Measure simulator wall-clock performance; write BENCH_wallclock.json."""
     from repro.bench import wallclock
@@ -225,6 +277,7 @@ COMMANDS = {
     "fig10": (_cmd_fig10, "run the Fig. 10 comparison"),
     "ablations": (_cmd_ablations, "run every ablation study"),
     "trace": (_cmd_trace, "run a traced workload; dump per-span latencies"),
+    "cluster": (_cmd_cluster, "run a replicated-logging demo on a device pool"),
     "perf": (_cmd_perf, "measure wall-clock perf; write BENCH_wallclock.json"),
     "report": (_cmd_report, "run everything and write a markdown report"),
 }
@@ -261,6 +314,21 @@ def main(argv: list[str] | None = None) -> int:
                              help="result file path (default BENCH_wallclock.json)")
             cmd.add_argument("--skip-figs", action="store_true",
                              help="microbench only; skip the fig7/fig8 drivers")
+        if name == "cluster":
+            cmd.add_argument("--devices", type=int, default=4,
+                             help="pool size (default 4)")
+            cmd.add_argument("--replicas", type=int, default=2,
+                             help="copies per stream incl. primary (default 2)")
+            cmd.add_argument("--streams", type=int, default=4,
+                             help="replicated WAL streams (default 4)")
+            cmd.add_argument("--clients", type=int, default=2,
+                             help="clients per stream (default 2)")
+            cmd.add_argument("--records", type=int, default=64,
+                             help="records per client (default 64)")
+            cmd.add_argument("--payload", type=int, default=512,
+                             help="record payload bytes (default 512)")
+            cmd.add_argument("--seed", type=int, default=11,
+                             help="pool seed (default 11)")
         if name == "trace":
             cmd.add_argument("--ops", type=int, default=2000,
                              help="YCSB operations to run (default 2000)")

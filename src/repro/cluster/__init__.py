@@ -1,0 +1,70 @@
+"""Sharded multi-device pool with replicated BA-WAL commit and failover.
+
+The paper makes one 2B-SSD the durability point for latency-critical
+logs; this layer scales that across devices the way a log-serving tier
+actually grows:
+
+* :class:`Interconnect` — a deterministic host-to-host network link,
+  modeled like the PCIe link one layer up;
+* :class:`DevicePool` — N platforms on one simulation clock, a
+  consistent-hash :class:`Placement` ring routing WAL streams to nodes,
+  per-node byte-path budgeting (Table I's 8 mapping entries) with
+  block-WAL fallback when slots run out;
+* :class:`ReplicatedBaWAL` — append to a primary and R-1 replicas, ack a
+  commit only at quorum (BA_SYNC per leg, pipelined over the fabric);
+* :class:`FailoverManager` / :class:`ClusterCrashHarness` — kill a node
+  mid-stream, promote a surviving replica, replay its recovered log, and
+  re-replicate to a spare.
+
+See ``docs/cluster.md`` for the protocol and failure model.
+"""
+
+from repro.cluster.driver import (
+    ClusterRunResult,
+    client_process,
+    make_payload,
+    open_streams,
+    run_replicated_logging,
+    spawn_clients,
+)
+from repro.cluster.errors import (
+    ClusterError,
+    NoSpareError,
+    PlacementError,
+    QuorumLossError,
+)
+from repro.cluster.failover import (
+    ClusterCrashHarness,
+    ClusterCrashOutcome,
+    FailoverManager,
+    FailoverResult,
+)
+from repro.cluster.interconnect import Interconnect, NetParams, NetStats
+from repro.cluster.placement import Placement
+from repro.cluster.pool import DevicePool, PoolNode, StreamLeg
+from repro.cluster.replicated import ReplicatedBaWAL
+
+__all__ = [
+    "ClusterCrashHarness",
+    "ClusterCrashOutcome",
+    "ClusterError",
+    "ClusterRunResult",
+    "DevicePool",
+    "FailoverManager",
+    "FailoverResult",
+    "Interconnect",
+    "NetParams",
+    "NetStats",
+    "NoSpareError",
+    "Placement",
+    "PlacementError",
+    "PoolNode",
+    "QuorumLossError",
+    "ReplicatedBaWAL",
+    "StreamLeg",
+    "client_process",
+    "make_payload",
+    "open_streams",
+    "run_replicated_logging",
+    "spawn_clients",
+]

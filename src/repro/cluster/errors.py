@@ -1,0 +1,20 @@
+"""Error types of the multi-device cluster layer."""
+
+
+class ClusterError(Exception):
+    """Base class for cluster-layer failures."""
+
+
+class QuorumLossError(ClusterError):
+    """A replicated commit could not reach its quorum: too many legs
+    failed before enough acknowledged durability."""
+
+
+class NoSpareError(ClusterError):
+    """Failover could not find a healthy node outside the stream's old
+    replica set to re-replicate onto."""
+
+
+class PlacementError(ClusterError):
+    """The placement ring cannot satisfy a request (e.g. more distinct
+    replicas than nodes)."""

@@ -1,0 +1,83 @@
+"""Consistent-hash shard placement over the device pool.
+
+Each node projects ``vnodes`` points onto a 64-bit ring; a stream's key
+hashes to a ring position and its primary is the next point clockwise,
+with replicas continuing around the ring to further *distinct* nodes.
+Hashing uses SHA-256 (like :class:`repro.sim.rng.RngStreams`) so
+placement is stable across processes and Python versions — builtin
+``hash()`` is salted per process and would destroy determinism.
+
+Adding or removing one node moves only the streams whose arcs that node
+owned — the property that makes consistent hashing the standard shard
+router for storage pools.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.cluster.errors import PlacementError
+
+
+def _ring_point(key: str) -> int:
+    """Stable 64-bit ring position for ``key``."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Placement:
+    """The ring: node names at hashed positions, walked clockwise."""
+
+    def __init__(self, nodes: list[str], vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("need at least one vnode per node")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._ring: list[tuple[int, str]] = []
+        for name in nodes:
+            self.add_node(name)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, name: str) -> None:
+        if name in self._nodes:
+            raise PlacementError(f"node {name!r} already on the ring")
+        self._nodes.add(name)
+        for replica in range(self.vnodes):
+            point = _ring_point(f"{name}#{replica}")
+            bisect.insort(self._ring, (point, name))
+
+    def remove_node(self, name: str) -> None:
+        """Take a (failed) node off the ring; its arcs fall to successors."""
+        if name not in self._nodes:
+            raise PlacementError(f"node {name!r} is not on the ring")
+        self._nodes.discard(name)
+        self._ring = [(point, node) for point, node in self._ring
+                      if node != name]
+
+    def nodes_for(self, key: str, count: int) -> list[str]:
+        """The ``count`` distinct nodes owning ``key``: primary first,
+        then replicas in ring order."""
+        if count < 1:
+            raise PlacementError(f"need at least one node, asked for {count}")
+        if count > len(self._nodes):
+            raise PlacementError(
+                f"{count} distinct replicas requested but only "
+                f"{len(self._nodes)} nodes on the ring"
+            )
+        position = bisect.bisect_right(self._ring, (_ring_point(key), ""))
+        chosen: list[str] = []
+        for step in range(len(self._ring)):
+            _point, node = self._ring[(position + step) % len(self._ring)]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == count:
+                    return chosen
+        raise PlacementError(f"ring exhausted placing {key!r}")  # pragma: no cover
+
+    def primary(self, key: str) -> str:
+        """The single node owning ``key``."""
+        return self.nodes_for(key, 1)[0]

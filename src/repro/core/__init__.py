@@ -22,6 +22,7 @@ from repro.core.errors import (
     BaBufferError,
     EntryNotFoundError,
     GatedLbaError,
+    MappingTableFullError,
     PinConflictError,
     RecoveryDataLossError,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "BaParams",
     "EntryNotFoundError",
     "GatedLbaError",
+    "MappingTableFullError",
     "MmapView",
     "PinConflictError",
     "PowerController",

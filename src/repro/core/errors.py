@@ -10,6 +10,16 @@ class PinConflictError(BaBufferError):
     the requested buffer range does not fit."""
 
 
+class MappingTableFullError(PinConflictError):
+    """BA_PIN rejected specifically because every mapping-table slot is
+    taken (Table I caps the table at eight entries).
+
+    A distinct subtype so capacity-aware callers — the cluster placement
+    code routing WAL streams across a device pool — can catch *exactly*
+    the out-of-slots condition and fall back to block-WAL, while genuine
+    overlap/validation conflicts keep propagating."""
+
+
 class EntryNotFoundError(BaBufferError):
     """An API referenced a mapping-table entry id that does not exist."""
 

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import EntryNotFoundError, PinConflictError
+from repro.core.errors import (
+    EntryNotFoundError,
+    MappingTableFullError,
+    PinConflictError,
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,15 @@ class BaMappingTable:
     def entries(self) -> list[BaMappingEntry]:
         return list(self._entries.values())
 
+    def slots_free(self) -> int:
+        """Mapping-table slots still available for new pins.
+
+        Capacity planning (the cluster's shard placement) budgets streams
+        against this rather than trial-pinning and catching
+        :class:`MappingTableFullError`.
+        """
+        return self.max_entries - len(self._entries)
+
     def get(self, entry_id: int) -> BaMappingEntry:
         entry = self._entries.get(entry_id)
         if entry is None:
@@ -73,7 +86,7 @@ class BaMappingTable:
         if entry_id in self._entries:
             raise PinConflictError(f"mapping entry {entry_id} already exists")
         if len(self._entries) >= self.max_entries:
-            raise PinConflictError(
+            raise MappingTableFullError(
                 f"mapping table full ({self.max_entries} entries, Table I limit)"
             )
         candidate = BaMappingEntry(entry_id, offset, lba, length)

@@ -87,6 +87,49 @@ def tracing_stats(*tracers: Tracer) -> dict:
     return merged.snapshot()
 
 
+def collect_cluster_stats(platforms: dict[str, Platform],
+                          tracer: Optional[Tracer] = None,
+                          interconnect: Any = None) -> dict:
+    """One merged report across several platforms (a cluster run).
+
+    Per-platform sections are keyed by node name; devices get prefixed
+    keys (``"node0/2B-SSD"``) so N platforms produce one flat device map
+    instead of N disjoint reports.  Tracing is process-global, so the
+    merged report carries a single ``"tracing"`` section — cluster spans
+    (``cluster.*``) land there next to every per-layer span.  Pass the
+    pool's :class:`~repro.cluster.interconnect.Interconnect` to include
+    fabric counters.
+    """
+    report: dict[str, Any] = {
+        "simulated_seconds": 0.0,
+        "nodes": sorted(platforms),
+        "host": {},
+        "pcie": {},
+        "power": {},
+        "devices": {},
+    }
+    for name in sorted(platforms):
+        platform = platforms[name]
+        single = collect_stats(platform)
+        single.pop("tracing", None)
+        report["simulated_seconds"] = max(report["simulated_seconds"],
+                                          single["simulated_seconds"])
+        report["host"][name] = single["host"]
+        report["pcie"][name] = single["pcie"]
+        report["power"][name] = single["power"]
+        for device_key, stats in single["devices"].items():
+            report["devices"][f"{name}/{device_key}"] = stats
+    if interconnect is not None:
+        report["interconnect"] = interconnect.stats_dict()
+    if tracer is not None:
+        report["tracing"] = tracing_stats(tracer)
+    else:
+        active = _tracing.get_tracer()
+        if active.histograms or active.counters:
+            report["tracing"] = tracing_stats(active)
+    return report
+
+
 def collect_stats(platform: Platform, tracer: Optional[Tracer] = None) -> dict:
     """The full platform picture, keyed by subsystem.
 

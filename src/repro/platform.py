@@ -4,6 +4,11 @@ The examples, benchmarks, and integration tests all need the same wiring:
 a simulation engine, a host CPU behind a PCIe link, a 2B-SSD with its API
 client, optional plain block SSDs for comparison, and a power controller
 for fault injection.  :class:`Platform` packages that.
+
+A platform normally owns its engine, but multi-host topologies (the
+``repro.cluster`` device pool) pass a shared ``engine`` so every node's
+events interleave on one simulated clock, plus a pre-forked ``rng`` so
+node seeds stay independent of node count.
 """
 
 from __future__ import annotations
@@ -20,9 +25,11 @@ from repro.ssd import BlockSSD, DeviceProfile, ULL_SSD
 class Platform:
     """A simulated server with one 2B-SSD and any number of block SSDs."""
 
-    def __init__(self, ba_params: Optional[BaParams] = None, seed: int = 0) -> None:
-        self.engine = Engine()
-        self.rng = RngStreams(seed)
+    def __init__(self, ba_params: Optional[BaParams] = None, seed: int = 0,
+                 engine: Optional[Engine] = None,
+                 rng: Optional[RngStreams] = None) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.rng = rng if rng is not None else RngStreams(seed)
         self.link = PcieLink(self.engine)
         self.cpu = HostCPU(self.engine, self.link)
         self.device = TwoBSSD(self.engine, ba_params=ba_params,

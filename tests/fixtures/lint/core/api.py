@@ -22,3 +22,10 @@ class FakeApi:
             tracing.observe("BA SYNC LATENCY", 1.0)  # OBS103: bad span name
         yield self.engine.timeout(1e-6)
         return entry_id
+
+    def ba_read_dma(self, entry_id):
+        if tracing.enabled:
+            # OBS104: well-formed name, but "gpu" is not a registered layer.
+            tracing.observe("gpu.dma.copy", 1.0)
+        yield self.engine.timeout(1e-6)
+        return entry_id

@@ -40,6 +40,13 @@ class TestCli:
         assert "normalized" in output
         assert "PM + DC-SSD" in output
 
+    def test_cluster(self):
+        output = run_cli("cluster", "--devices", "2", "--streams", "2",
+                         "--clients", "1", "--records", "8")
+        assert "Cluster run: 2 devices, RF=2" in output
+        assert "records acked" in output
+        assert "cluster.quorum_wait" in output
+
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             run_cli("figure-nine")

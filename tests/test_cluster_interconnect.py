@@ -1,0 +1,123 @@
+"""Interconnect timing and consistent-hash placement.
+
+The interconnect is the pool's analogue of ``pcie.link`` one layer up:
+per-node serialized egress plus a propagation delay, all on simulated
+time.  Placement must be stable (SHA-256, not salted ``hash()``) and
+minimally disruptive when membership changes.
+"""
+
+import pytest
+
+from repro.cluster import Interconnect, NetParams, Placement
+from repro.cluster.errors import PlacementError
+from repro.sim import Engine
+
+
+def one_way(params: NetParams, nbytes: int) -> float:
+    return (params.message_overhead
+            + nbytes / params.bandwidth_bytes_per_sec
+            + params.propagation)
+
+
+class TestInterconnect:
+    def test_single_transfer_latency(self):
+        engine = Engine()
+        net = Interconnect(engine)
+        engine.run(until=engine.process(net.transfer("a", "b", 4096)))
+        assert engine.now == pytest.approx(one_way(net.params, 4096))
+        assert net.stats.messages == 1
+        assert net.stats.bytes_sent == 4096
+
+    def test_concurrent_sends_serialize_on_egress(self):
+        engine = Engine()
+        net = Interconnect(engine)
+        done = [engine.process(net.transfer("a", dst, 4096))
+                for dst in ("b", "c")]
+        engine.run(until=engine.all_of(done))
+        params = net.params
+        occupancy = params.message_overhead + 4096 / params.bandwidth_bytes_per_sec
+        # The second message waits for the first to clear the egress wire,
+        # then pays its own occupancy plus propagation.
+        assert engine.now == pytest.approx(2 * occupancy + params.propagation)
+
+    def test_distinct_sources_do_not_contend(self):
+        engine = Engine()
+        net = Interconnect(engine)
+        done = [engine.process(net.transfer(src, "x", 4096))
+                for src in ("a", "b")]
+        engine.run(until=engine.all_of(done))
+        assert engine.now == pytest.approx(one_way(net.params, 4096))
+
+    def test_control_message_is_fixed_size(self):
+        engine = Engine()
+        net = Interconnect(engine)
+        engine.run(until=engine.process(net.send_control("a", "b")))
+        assert net.stats.control_messages == 1
+        assert net.stats.bytes_sent == net.params.control_bytes
+        assert engine.now == pytest.approx(
+            one_way(net.params, net.params.control_bytes))
+
+    def test_rejects_self_transfer_and_negative_size(self):
+        net = Interconnect(Engine())
+        with pytest.raises(ValueError):
+            next(net.transfer("a", "a", 64))
+        with pytest.raises(ValueError):
+            next(net.transfer("a", "b", -1))
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            NetParams(bandwidth_bytes_per_sec=0)
+        with pytest.raises(ValueError):
+            NetParams(propagation=-1.0)
+
+    def test_stats_dict_round_trips(self):
+        engine = Engine()
+        net = Interconnect(engine)
+        engine.run(until=engine.process(net.transfer("a", "b", 100)))
+        assert net.stats_dict() == {
+            "messages": 1, "bytes_sent": 100, "control_messages": 0,
+        }
+
+
+class TestPlacement:
+    def test_primary_is_stable_across_instances(self):
+        names = ["node0", "node1", "node2", "node3"]
+        first = Placement(names)
+        second = Placement(names)
+        for key in ("wal0", "wal1", "stream-x"):
+            assert first.primary(key) == second.primary(key)
+
+    def test_nodes_for_returns_distinct_nodes(self):
+        placement = Placement(["node0", "node1", "node2"])
+        chosen = placement.nodes_for("wal7", 3)
+        assert sorted(chosen) == ["node0", "node1", "node2"]
+
+    def test_remove_node_moves_only_its_keys(self):
+        placement = Placement(["node0", "node1", "node2", "node3"])
+        keys = [f"wal{i}" for i in range(64)]
+        before = {key: placement.primary(key) for key in keys}
+        placement.remove_node("node2")
+        for key in keys:
+            if before[key] != "node2":
+                assert placement.primary(key) == before[key]
+            else:
+                assert placement.primary(key) != "node2"
+
+    def test_keys_spread_over_the_ring(self):
+        placement = Placement(["node0", "node1", "node2", "node3"])
+        primaries = {placement.primary(f"wal{i}") for i in range(32)}
+        assert len(primaries) == 4
+
+    def test_replica_count_bounded_by_membership(self):
+        placement = Placement(["node0", "node1"])
+        with pytest.raises(PlacementError):
+            placement.nodes_for("wal0", 3)
+        with pytest.raises(PlacementError):
+            placement.nodes_for("wal0", 0)
+
+    def test_membership_errors(self):
+        placement = Placement(["node0"])
+        with pytest.raises(PlacementError):
+            placement.add_node("node0")
+        with pytest.raises(PlacementError):
+            placement.remove_node("ghost")

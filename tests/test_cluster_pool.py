@@ -1,0 +1,155 @@
+"""Device pool: BA budgeting, block-WAL fallback, and stream lifecycle.
+
+Table I gives each 2B-SSD an eight-entry mapping table; a BA-WAL stream
+pins two entries, so the fifth stream on one node must fall back to the
+block path.  The pool's bookkeeping (entry pairs, log areas) has to stay
+exact through open/close cycles and through pins it does not own.
+"""
+
+import pytest
+
+from repro.cluster import DevicePool, run_replicated_logging
+from repro.cluster.errors import ClusterError
+from repro.core import BaParams
+from repro.sim.units import KiB
+
+PAGE = 4096
+
+SMALL_BA = BaParams(buffer_bytes=64 * KiB)  # 8 KiB segments, fast trims
+
+
+def small_pool(devices=1, **kwargs):
+    kwargs.setdefault("ba_params", SMALL_BA)
+    kwargs.setdefault("area_pages", 16)
+    return DevicePool(devices=devices, seed=5, **kwargs)
+
+
+class TestBudget:
+    def test_fifth_stream_on_one_node_falls_back_to_block(self):
+        pool = small_pool()
+        streams = [pool.engine.run_process(pool.open_stream(f"wal{i}",
+                                                            replicas=1))
+                   for i in range(5)]
+        kinds = [stream.primary.kind for stream in streams]
+        assert kinds == ["ba", "ba", "ba", "ba", "block"]
+        assert pool.ba_fallbacks == 1
+
+    def test_closing_a_stream_returns_its_budget(self):
+        pool = small_pool()
+        for i in range(4):
+            pool.engine.run_process(pool.open_stream(f"wal{i}", replicas=1))
+        pool.engine.run_process(pool.close_stream("wal2"))
+        fresh = pool.engine.run_process(pool.open_stream("fresh", replicas=1))
+        assert fresh.primary.kind == "ba"
+        assert fresh.primary.pair == 2  # the exact pair wal2 released
+
+    def test_external_pins_steal_the_budget(self):
+        # A tenant outside the pool pins entries directly; the pool's
+        # reservation check sees the table short and falls back.
+        pool = small_pool()
+        node = pool.nodes["node0"]
+        engine = pool.engine
+
+        def pin_external():
+            for eid in range(7):
+                # Above the pool's area allocator, one page per pin.
+                yield engine.process(node.platform.api.ba_pin(
+                    100 + eid, (8 + eid) * PAGE, 5000 + 2 * eid, PAGE))
+
+        engine.run_process(pin_external())
+        stream = engine.run_process(pool.open_stream("wal0", replicas=1))
+        assert stream.primary.kind == "block"
+        assert pool.ba_fallbacks == 1
+
+    def test_race_lost_to_external_pin_unwinds_and_falls_back(self):
+        # The pool reserves a pair, starts trimming, and *then* an outside
+        # tenant fills the table: wal.start() hits MappingTableFullError
+        # mid-pin and the leg must unwind whatever it pinned and fall back.
+        # The tenant grabs slots synchronously so it always wins the race.
+        pool = small_pool()
+        node = pool.nodes["node0"]
+        engine = pool.engine
+        table = node.platform.device.mapping_table
+        opened = engine.process(pool.open_stream("wal0", replicas=1))
+
+        def steal():
+            yield engine.timeout(1e-9)  # after the reserve, inside the trim
+            for eid in range(7):
+                table.add(100 + eid, (8 + eid) * PAGE, 5000 + 2 * eid, PAGE)
+
+        engine.process(steal())
+        stream = engine.run(until=opened)
+        assert stream.primary.kind == "block"
+        assert pool.ba_fallbacks == 1
+        # The reserved pair came back: only the external pins hold slots.
+        assert table.slots_free() == 1
+        assert node.try_peek_pair() is None  # 1 free slot < a pair
+
+    def test_pair_double_release_rejected(self):
+        pool = small_pool()
+        node = pool.nodes["node0"]
+        pair = node.try_reserve_pair()
+        node.release_pair(pair)
+        with pytest.raises(ClusterError, match="already free"):
+            node.release_pair(pair)
+
+    def test_log_area_allocation_bounded_by_geometry(self):
+        pool = small_pool()
+        node = pool.nodes["node0"]
+        geometry = node.platform.device.profile.geometry
+        total = (geometry.channels * geometry.dies_per_channel
+                 * geometry.blocks_per_die * geometry.pages_per_block)
+        node.alloc_area(total - 8)
+        with pytest.raises(ClusterError, match="out of log area"):
+            node.alloc_area(16)
+
+
+class TestLifecycle:
+    def test_duplicate_stream_name_rejected(self):
+        pool = small_pool(devices=2)
+        pool.engine.run_process(pool.open_stream("wal0", replicas=1))
+        with pytest.raises(ClusterError, match="already open"):
+            pool.engine.run_process(pool.open_stream("wal0", replicas=1))
+
+    def test_cannot_place_on_downed_node(self):
+        pool = small_pool(devices=2)
+        pool.mark_down("node1")
+        with pytest.raises(ClusterError, match="downed node"):
+            pool.engine.run_process(
+                pool.open_stream("wal0", replicas=1, on_nodes=["node1"]))
+
+    def test_mark_down_removes_from_placement(self):
+        pool = small_pool(devices=3)
+        pool.mark_down("node1")
+        assert pool.placement.nodes == ["node0", "node2"]
+        for i in range(8):
+            assert pool.placement.primary(f"wal{i}") != "node1"
+
+    def test_streams_spread_over_the_pool(self):
+        pool = small_pool(devices=4, area_pages=16)
+        result = run_replicated_logging(pool, streams=8, clients_per_stream=1,
+                                        records_per_client=2, replicas=1,
+                                        payload_bytes=256)
+        assert result.records_acked == 16
+        primaries = {stream.primary.node.name
+                     for stream in pool.streams.values()}
+        assert len(primaries) >= 2  # the ring spreads 8 keys over 4 nodes
+
+
+class TestConstruction:
+    def test_rejects_odd_entry_count(self):
+        with pytest.raises(ClusterError, match="must be even"):
+            DevicePool(devices=1, ba_params=BaParams(max_entries=7))
+
+    def test_rejects_misaligned_area(self):
+        with pytest.raises(ClusterError, match="multiple"):
+            small_pool(area_pages=3)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ClusterError, match="at least one device"):
+            DevicePool(devices=0)
+
+    def test_nodes_share_one_engine(self):
+        pool = small_pool(devices=3)
+        engines = {node.platform.engine for node in pool.nodes.values()}
+        assert engines == {pool.engine}

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import BaMappingTable, EntryNotFoundError, GatedLbaError, PinConflictError
+from repro.core import (
+    BaMappingTable,
+    EntryNotFoundError,
+    GatedLbaError,
+    MappingTableFullError,
+    PinConflictError,
+)
 from repro.core.lba_checker import LbaChecker
 
 PAGE = 4096
@@ -33,6 +39,25 @@ class TestMappingTable:
         table.add(1, PAGE, 10, PAGE)
         with pytest.raises(PinConflictError, match="table full"):
             table.add(2, 2 * PAGE, 20, PAGE)
+
+    def test_full_table_raises_typed_error(self):
+        # Callers with a fallback path (the cluster pool's block-WAL leg)
+        # need to tell "out of slots" apart from genuine pin conflicts.
+        table = make_table(max_entries=2)
+        table.add(0, 0, 0, PAGE)
+        table.add(1, PAGE, 10, PAGE)
+        with pytest.raises(MappingTableFullError):
+            table.add(2, 2 * PAGE, 20, PAGE)
+        assert issubclass(MappingTableFullError, PinConflictError)
+
+    def test_slots_free_tracks_occupancy(self):
+        table = make_table(max_entries=4)
+        assert table.slots_free() == 4
+        table.add(0, 0, 0, PAGE)
+        table.add(1, PAGE, 10, PAGE)
+        assert table.slots_free() == 2
+        table.remove(0)
+        assert table.slots_free() == 3
 
     def test_buffer_overlap_rejected(self):
         table = make_table()

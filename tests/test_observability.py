@@ -63,3 +63,26 @@ def test_device_stats_waf_present():
     stats = device_stats(platform.device)
     assert stats["ftl"]["waf"] == 1.0
     assert stats["cache"]["capacity_pages"] > 0
+
+
+def test_collect_cluster_stats_merges_pools():
+    from repro.cluster import DevicePool, run_replicated_logging
+    from repro.core import BaParams
+    from repro.sim.units import KiB
+
+    pool = DevicePool(devices=2, seed=98,
+                      ba_params=BaParams(buffer_bytes=64 * KiB),
+                      area_pages=16)
+    run_replicated_logging(pool, streams=1, clients_per_stream=1,
+                           records_per_client=2, replicas=2,
+                           payload_bytes=128)
+    report = pool.collect_stats()
+    json.dumps(report)  # must not raise
+    assert report["nodes"] == ["node0", "node1"]
+    # Per-layer sections are keyed by node; device sections get a
+    # node-name prefix so same-profile devices never collide.
+    assert set(report["host"]) == {"node0", "node1"}
+    assert set(report["pcie"]) == {"node0", "node1"}
+    assert set(report["devices"]) == {"node0/2B-SSD", "node1/2B-SSD"}
+    assert report["interconnect"]["messages"] > 0
+    assert report["simulated_seconds"] > 0

@@ -95,10 +95,14 @@ class TestExamples:
         output = _run_example("sql_logging.py")
         assert "sql-logging example OK" in output
 
+    def test_replicated_logging(self):
+        output = _run_example("replicated_logging.py")
+        assert "replicated logging example OK" in output
+
     def test_every_example_file_is_covered(self):
         examples = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         covered = {"quickstart.py", "database_logging.py",
                    "power_loss_recovery.py", "kv_store_ycsb.py",
                    "bulk_ingest_read.py", "multi_tenant.py",
-                   "sql_logging.py"}
+                   "sql_logging.py", "replicated_logging.py"}
         assert examples <= covered | {"__init__.py"}

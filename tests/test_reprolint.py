@@ -94,7 +94,7 @@ class TestSimRules:
 class TestObsRules:
     def test_obs_rules_on_fixture(self):
         assert rules_in(FIXTURES / "core" / "api.py") == {
-            "OBS101", "OBS102", "OBS103",
+            "OBS101", "OBS102", "OBS103", "OBS104",
         }
 
     def test_obs101_only_applies_to_core_api_paths(self):
@@ -110,6 +110,27 @@ class TestObsRules:
             "        tracing.observe('core.api.ba_sync', engine.now)\n"
         )
         assert lint.lint_source(source) == []
+
+    def test_obs104_namespace_registry(self):
+        bad = (
+            "from repro.obs import tracing\n"
+            "def f(engine):\n"
+            "    if tracing.enabled:\n"
+            "        tracing.count('custer.appends')\n"  # typo'd layer
+        )
+        assert {v.rule for v in lint.lint_source(bad)} == {"OBS104"}
+        good = bad.replace("custer.", "cluster.")
+        assert lint.lint_source(good) == []
+
+    def test_obs104_not_doubled_onto_malformed_names(self):
+        # A name that already fails OBS103 should not also fire OBS104.
+        source = (
+            "from repro.obs import tracing\n"
+            "def f(engine):\n"
+            "    if tracing.enabled:\n"
+            "        tracing.observe('BA SYNC', 1.0)\n"
+        )
+        assert {v.rule for v in lint.lint_source(source)} == {"OBS103"}
 
 
 class TestSuppression:
