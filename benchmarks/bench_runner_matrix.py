@@ -1,0 +1,51 @@
+"""Run-matrix executor: parallel fan-out + warm-snapshot reuse (not a figure).
+
+Runs the full evaluation matrix through :mod:`repro.bench.runner` twice —
+serially with every warm leg re-simulating its warm-up (the pre-runner
+status quo), then at ``--runner-jobs`` with the shared warm snapshot —
+and reports the wall-clock ratio, the cache accounting, and the
+byte-identity of the two merged outputs.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_runner_matrix.py
+
+or through pytest (honors ``--runner-jobs`` / ``--snapshot-cache``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runner_matrix.py
+"""
+
+import pytest
+
+from repro.bench.legs import full_matrix
+from repro.bench.runner import SnapshotCache, run_legs
+
+pytestmark = pytest.mark.perf
+
+
+def _format(serial, parallel) -> str:
+    speedup = serial.wall_seconds / parallel.wall_seconds
+    identical = serial.canonical_results() == parallel.canonical_results()
+    return "\n".join([
+        f"matrix     : {len(serial.results)} legs",
+        f"serial     : {serial.wall_seconds:9.3f} s wall (jobs=1, re-warmed)",
+        f"parallel   : {parallel.wall_seconds:9.3f} s wall "
+        f"(jobs={parallel.jobs}, snapshot reuse)",
+        f"speedup    : {speedup:9.2f} x",
+        f"cache      : {parallel.cache}",
+        f"identical  : {identical}",
+    ])
+
+
+def bench_runner_matrix(report, runner_jobs, snapshot_cache):
+    matrix = full_matrix()
+    serial = run_legs(matrix, jobs=1, reuse_snapshots=False)
+    parallel = run_legs(matrix, jobs=runner_jobs, snapshot_cache=snapshot_cache)
+    report("runner_matrix", _format(serial, parallel))
+    assert serial.canonical_results() == parallel.canonical_results(), (
+        "parallel matrix output diverged from the serial baseline")
+
+
+if __name__ == "__main__":
+    matrix = full_matrix()
+    serial = run_legs(matrix, jobs=1, reuse_snapshots=False)
+    parallel = run_legs(matrix, jobs=4, snapshot_cache=SnapshotCache())
+    print(_format(serial, parallel))

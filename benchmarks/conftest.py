@@ -1,10 +1,17 @@
-"""Shared benchmark plumbing: report emission.
+"""Shared benchmark plumbing: report emission and runner knobs.
 
 Every benchmark renders the paper-style table for its figure, prints it
 to the terminal (bypassing pytest capture so it shows up in piped output)
 and archives it under ``benchmarks/results/``.
+
+The run-matrix executor's knobs are exposed both as pytest options and
+as environment variables (flags win)::
+
+    pytest benchmarks --runner-jobs 4 --snapshot-cache .snapshots
+    REPRO_RUNNER_JOBS=4 REPRO_SNAPSHOT_CACHE=.snapshots pytest benchmarks
 """
 
+import os
 import pathlib
 
 import pytest
@@ -17,6 +24,35 @@ def pytest_configure(config):
         "markers",
         "perf: wall-clock performance measurements (deselect with -m \"not perf\")",
     )
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("runner", "run-matrix executor")
+    group.addoption(
+        "--runner-jobs", type=int,
+        default=int(os.environ.get("REPRO_RUNNER_JOBS", "4")),
+        help="worker processes for run-matrix benchmarks "
+             "(env REPRO_RUNNER_JOBS, default 4)")
+    group.addoption(
+        "--snapshot-cache", metavar="DIR",
+        default=os.environ.get("REPRO_SNAPSHOT_CACHE") or None,
+        help="directory for persisted warm-state snapshots "
+             "(env REPRO_SNAPSHOT_CACHE, default in-memory only)")
+
+
+@pytest.fixture(scope="session")
+def runner_jobs(request):
+    """The ``--runner-jobs`` pool width for matrix benchmarks."""
+    return request.config.getoption("--runner-jobs")
+
+
+@pytest.fixture(scope="session")
+def snapshot_cache(request):
+    """A shared :class:`repro.bench.runner.SnapshotCache` for the session,
+    disk-backed when ``--snapshot-cache DIR`` is given."""
+    from repro.bench.runner import SnapshotCache
+
+    return SnapshotCache(request.config.getoption("--snapshot-cache"))
 
 
 @pytest.fixture

@@ -259,7 +259,8 @@ def _make_wal(platform: Platform, config: str, area_pages: int = 32768):
 
 
 def run_fig9_postgres(txns: int = 2000, clients: int = 8,
-                      seed: int = 10) -> dict[str, RunResult]:
+                      seed: int = 10,
+                      node_count: int = 800) -> dict[str, RunResult]:
     """Fig. 9 left panel: PostgreSQL-like engine under LinkBench."""
     results: dict[str, RunResult] = {}
     for config in FIG9_CONFIGS:
@@ -267,7 +268,7 @@ def run_fig9_postgres(txns: int = 2000, clients: int = 8,
         wal = _make_wal(platform, config)
         db = RelationalEngine(platform.engine, wal)
         workload = LinkbenchWorkload(
-            LinkbenchConfig(node_count=800),
+            LinkbenchConfig(node_count=node_count),
             platform.rng.fork(f"linkbench-{config}").stream("ops"),
         )
         results[config] = run_linkbench_on_relational(
@@ -333,8 +334,8 @@ def run_fig9_redis(payloads: tuple[int, ...] = (128, 1024, 4096),
 FIG10_CONFIGS = ("2B-SSD (baseline)", "PM + DC-SSD", "PM + ULL-SSD", "ASYNC")
 
 
-def run_fig10(txns: int = 2000, clients: int = 8,
-              seed: int = 13) -> dict[str, RunResult]:
+def run_fig10(txns: int = 2000, clients: int = 8, seed: int = 13,
+              node_count: int = 800) -> dict[str, RunResult]:
     """PostgreSQL/LinkBench on PM-buffered WAL vs BA-WAL vs async commit."""
     results: dict[str, RunResult] = {}
     for config in FIG10_CONFIGS:
@@ -356,7 +357,7 @@ def run_fig10(txns: int = 2000, clients: int = 8,
                            mode=CommitMode.ASYNCHRONOUS, area_pages=32768)
         db = RelationalEngine(platform.engine, wal)
         workload = LinkbenchWorkload(
-            LinkbenchConfig(node_count=800),
+            LinkbenchConfig(node_count=node_count),
             platform.rng.fork(f"linkbench-{config}").stream("ops"),
         )
         results[config] = run_linkbench_on_relational(

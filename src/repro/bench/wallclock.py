@@ -53,6 +53,8 @@ TARGETS = {
     "microbench_speedup_min": 1.4,
     "figs_combined_reduction_min": 0.25,
     "cluster_scaling_min": 3.0,
+    "runner_matrix_speedup_min": 2.0,
+    "runner_sweep_speedup_min": 1.3,
 }
 
 #: The fixed client load the cluster-scaling section applies to every
@@ -150,7 +152,87 @@ def run_cluster_scaling(device_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
     }
 
 
-def run_harness(skip_figs: bool = False) -> dict:
+def _runner_probe(which: str, jobs: int, reuse: bool,
+                  snapshot_cache: str | pathlib.Path | None = None) -> dict:
+    """One ``repro.bench.runner --bench-legs`` run in a fresh interpreter.
+
+    A fork-based pool inherits the parent's heap, so measuring the
+    executor from inside this harness — right after the figure drivers
+    have churned through their workloads — would tax every worker with
+    copy-on-write faults the serial baseline never pays.  Each
+    measurement therefore gets its own clean parent; interpreter startup
+    stays outside the child's self-timed ``wall_seconds``.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH")) if p)
+    command = [sys.executable, "-m", "repro.bench.runner",
+               "--bench-legs", which, "--jobs", str(jobs)]
+    if not reuse:
+        command.append("--no-reuse-snapshots")
+    if snapshot_cache is not None:
+        command += ["--snapshot-cache", str(snapshot_cache)]
+    result = subprocess.run(command, capture_output=True, text=True,
+                            check=True, env=env)
+    return json.loads(result.stdout)
+
+
+def run_runner_section(jobs: int = 4,
+                       snapshot_cache: str | pathlib.Path | None = None) -> dict:
+    """Measure the run-matrix executor against its serial baseline.
+
+    Two comparisons, both gated on byte-identical output (equal result
+    digests):
+
+    * the full evaluation matrix, serially with every warm leg
+      re-simulating its warm-up (the pre-runner status quo) vs. ``jobs``
+      workers sharing one cached warm snapshot;
+    * a single ablation sweep at ``jobs=1`` both ways, isolating what
+      snapshot reuse alone buys (no parallelism in the ratio).
+
+    Wall-clock ratios, so absolute values vary by machine; the committed
+    numbers are from the machine that generated BENCH_wallclock.json.
+    """
+    serial = _runner_probe("matrix", jobs=1, reuse=False)
+    parallel = _runner_probe("matrix", jobs=jobs, reuse=True,
+                             snapshot_cache=snapshot_cache)
+    sweep_cold = _runner_probe("sweep", jobs=1, reuse=False)
+    # Fresh in-memory cache: the sweep ratio includes the one warm-up
+    # + capture it takes to prime the cache, not a pre-primed hit.
+    sweep_warm = _runner_probe("sweep", jobs=1, reuse=True)
+
+    deterministic = (
+        serial["digest"] == parallel["digest"]
+        and sweep_cold["digest"] == sweep_warm["digest"]
+    )
+    return {
+        "jobs": jobs,
+        "matrix_legs": parallel["legs"],
+        "serial_seconds": serial["wall_seconds"],
+        "parallel_seconds": parallel["wall_seconds"],
+        "matrix_speedup": round(
+            serial["wall_seconds"] / parallel["wall_seconds"], 3),
+        "snapshot_cache": parallel["cache"],
+        "sweep": {
+            "legs": sweep_cold["legs"],
+            "cold_seconds": sweep_cold["wall_seconds"],
+            "warm_seconds": sweep_warm["wall_seconds"],
+            "speedup": round(
+                sweep_cold["wall_seconds"] / sweep_warm["wall_seconds"], 3),
+        },
+        "deterministic": deterministic,
+    }
+
+
+def run_harness(skip_figs: bool = False, jobs: int = 4,
+                snapshot_cache: str | pathlib.Path | None = None) -> dict:
     """Measure everything; returns the BENCH_wallclock.json payload."""
     from repro.bench import experiments as ex
 
@@ -189,6 +271,13 @@ def run_harness(skip_figs: bool = False) -> dict:
             "reduction_fraction": round(reduction, 4),
         }
         passed = passed and reduction >= TARGETS["figs_combined_reduction_min"]
+        runner = run_runner_section(jobs=jobs, snapshot_cache=snapshot_cache)
+        results["runner"] = runner
+        passed = passed and (
+            runner["matrix_speedup"] >= TARGETS["runner_matrix_speedup_min"]
+            and runner["sweep"]["speedup"] >= TARGETS["runner_sweep_speedup_min"]
+            and runner["deterministic"]
+        )
     results["cluster"] = run_cluster_scaling()
     passed = passed and (
         results["cluster"]["scaling_1_to_4"] >= TARGETS["cluster_scaling_min"]
@@ -223,14 +312,25 @@ def validate_report(payload: dict) -> None:
     if cluster is not None and not isinstance(
             cluster.get("scaling_1_to_4"), (int, float)):
         raise ValueError("results.cluster.scaling_1_to_4 missing or non-numeric")
+    runner = payload["results"].get("runner")
+    if runner is not None:
+        for key in ("matrix_speedup", "serial_seconds", "parallel_seconds"):
+            if not isinstance(runner.get(key), (int, float)):
+                raise ValueError(f"results.runner.{key} missing or non-numeric")
+        if not isinstance(runner.get("deterministic"), bool):
+            raise ValueError("results.runner.deterministic missing or non-bool")
+        if not isinstance(runner.get("sweep", {}).get("speedup"), (int, float)):
+            raise ValueError("results.runner.sweep.speedup missing or non-numeric")
     if not isinstance(payload["pass"], bool):
         raise ValueError("'pass' must be a bool")
 
 
 def write_report(path: str | pathlib.Path = "BENCH_wallclock.json",
-                 skip_figs: bool = False) -> dict:
+                 skip_figs: bool = False, jobs: int = 4,
+                 snapshot_cache: str | pathlib.Path | None = None) -> dict:
     """Run the harness and write ``path``; returns the payload."""
-    payload = run_harness(skip_figs=skip_figs)
+    payload = run_harness(skip_figs=skip_figs, jobs=jobs,
+                          snapshot_cache=snapshot_cache)
     validate_report(payload)
     pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -255,6 +355,19 @@ def format_report(payload: dict) -> str:
         lines.append(
             f"combined   : {combined['seconds']:>9.3f} s wall  "
             f"({combined['reduction_fraction'] * 100:.1f}% below baseline)")
+    runner = payload["results"].get("runner")
+    if runner:
+        lines.append(
+            f"runner     : {runner['matrix_legs']}-leg matrix "
+            f"{runner['parallel_seconds']:.2f} s at jobs={runner['jobs']} vs "
+            f"{runner['serial_seconds']:.2f} s serial "
+            f"({runner['matrix_speedup']:.2f}x; cache {runner['snapshot_cache']})")
+        sweep = runner["sweep"]
+        lines.append(
+            f"sweep      : {sweep['legs']} legs {sweep['warm_seconds']:.2f} s "
+            f"with snapshot reuse vs {sweep['cold_seconds']:.2f} s re-warmed "
+            f"({sweep['speedup']:.2f}x; "
+            f"deterministic={runner['deterministic']})")
     cluster = payload["results"].get("cluster")
     if cluster:
         best = max(cluster["devices"])

@@ -226,13 +226,20 @@ def _cmd_cluster(args) -> None:
                        ["device", "pinned"], synced))
 
 
-def _cmd_perf(args) -> None:
-    """Measure simulator wall-clock performance; write BENCH_wallclock.json."""
+def _cmd_perf(args) -> int:
+    """Measure simulator wall-clock performance; write BENCH_wallclock.json.
+
+    Exits non-zero when any acceptance target is missed (``pass: false``
+    in the payload), so CI lanes can gate on the perf harness directly.
+    """
     from repro.bench import wallclock
 
-    payload = wallclock.write_report(args.output, skip_figs=args.skip_figs)
+    payload = wallclock.write_report(args.output, skip_figs=args.skip_figs,
+                                     jobs=args.jobs,
+                                     snapshot_cache=args.snapshot_cache)
     print(wallclock.format_report(payload))
     print(f"wrote {args.output}")
+    return 0 if payload["pass"] else 1
 
 
 def _cmd_report(args) -> None:
@@ -313,7 +320,14 @@ def main(argv: list[str] | None = None) -> int:
             cmd.add_argument("--output", default="BENCH_wallclock.json",
                              help="result file path (default BENCH_wallclock.json)")
             cmd.add_argument("--skip-figs", action="store_true",
-                             help="microbench only; skip the fig7/fig8 drivers")
+                             help="microbench only; skip the fig7/fig8 "
+                                  "drivers and the run-matrix section")
+            cmd.add_argument("--jobs", type=int, default=4,
+                             help="worker processes for the run-matrix "
+                                  "section (default 4)")
+            cmd.add_argument("--snapshot-cache", metavar="DIR", default=None,
+                             help="persist warm-state snapshots under DIR "
+                                  "(reused across invocations)")
         if name == "cluster":
             cmd.add_argument("--devices", type=int, default=4,
                              help="pool size (default 4)")
@@ -349,12 +363,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if getattr(args, "sanitize", False) or simsan.env_requested():
         with simsan.activated() as state:
-            COMMANDS[args.command][0](args)
+            status = COMMANDS[args.command][0](args)
         print(f"sanitizer: {state.checks} checks, "
               f"{state.violations} violations", file=sys.stderr)
     else:
-        COMMANDS[args.command][0](args)
-    return 0
+        status = COMMANDS[args.command][0](args)
+    return int(status or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,8 +53,22 @@ class TwoBApiClient:
         return entry
 
     def ba_flush(self, entry_id: int) -> Iterator[Event]:
-        """Process: BA_FLUSH(EID) — write buffer contents to NAND, unmap."""
+        """Process: BA_FLUSH(EID) — write buffer contents to NAND, unmap.
+
+        Stores still staged in the CPU WC buffer are drained first
+        (clflush + write-verify read, the BA_SYNC steps), so a flush
+        without a preceding sync publishes what the application last
+        stored instead of a torn page.  Callers that already synced have
+        no staged lines in the entry's window and skip the drain — no
+        extra simulated events on that path.
+        """
         with tracing.span("core.api.ba_flush", self.engine):
+            info = self.device.ba_manager.get_entry_info(entry_id)
+            if self.cpu.wc.dirty_lines_in_range(self.region, info.offset, info.length):
+                lines = yield self.engine.process(
+                    self.cpu.wc_flush(self.region, info.offset, info.length)
+                )
+                yield self.engine.process(self.cpu.write_verify_read(lines))
             yield self.engine.timeout(self.params.ioctl_latency)
             entry = yield self.engine.process(self.device.ba_manager.flush(entry_id))
         self._lines_since_sync.pop(entry_id, None)

@@ -69,6 +69,50 @@ class TwoBSSD(BlockSSD):
         self.recovery = RecoveryManager(self.ba_dram, self.mapping_table, self.ba_params)
         self.lba_gate = LbaChecker(self.mapping_table)
 
+    # -- state capture ---------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot the block half plus every byte-path component."""
+        if self.recovery.has_saved_image:
+            raise RuntimeError(
+                "capture with a pending recovery image is unsupported")
+        state = super().capture_state()
+        state["ba_dram"] = self.ba_dram.snapshot()
+        state["mapping_table"] = self.mapping_table.to_snapshot()
+        state["ba_stats"] = {
+            "pins": self.ba_manager.stats.pins,
+            "flushes": self.ba_manager.stats.flushes,
+            "pages_pinned": self.ba_manager.stats.pages_pinned,
+            "pages_flushed": self.ba_manager.stats.pages_flushed,
+        }
+        state["lba_gate_stats"] = {
+            "checks": self.lba_gate.stats.checks,
+            "gated": self.lba_gate.stats.gated,
+        }
+        state["read_dma_stats"] = {
+            "transfers": self.read_dma.stats.transfers,
+            "bytes_copied": self.read_dma.stats.bytes_copied,
+        }
+        state["recovery_stats"] = {
+            "emergency_dumps": self.recovery.stats.emergency_dumps,
+            "restores": self.recovery.stats.restores,
+            "dumps_failed": self.recovery.stats.dumps_failed,
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.ba_dram.restore(state["ba_dram"])
+        self.mapping_table.restore_snapshot(state["mapping_table"])
+        for section, stats in (
+            ("ba_stats", self.ba_manager.stats),
+            ("lba_gate_stats", self.lba_gate.stats),
+            ("read_dma_stats", self.read_dma.stats),
+            ("recovery_stats", self.recovery.stats),
+        ):
+            for name, value in state[section].items():
+                setattr(stats, name, value)
+
     # -- power behaviour -------------------------------------------------------
 
     def power_loss(self) -> bool:

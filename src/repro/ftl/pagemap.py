@@ -122,6 +122,61 @@ class PageMapFTL:
                 # but-never-programmed pages are simply reused.
                 die.next_page = state.write_pointer
 
+    # -- state capture --------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot mapping, valid sets, allocators, and GC bookkeeping.
+
+        Legal only while no write/GC is in flight and the background loop
+        sits parked on its signal store (``_bg_kicked`` False) — i.e. at
+        kernel quiescence.  The L2P/P2L dicts are copied verbatim so
+        ``live_pages()`` iteration order (which :meth:`scrub` depends on)
+        survives the round trip, and ``_full_blocks`` order is preserved
+        because victim selection breaks ties by scan position.
+        """
+        if self._bg_kicked:
+            raise RuntimeError("FTL capture with background GC signalled")
+        return {
+            "l2p": dict(self.map._l2p),
+            "p2l": dict(self.map._p2l),
+            "stats": {
+                "host_pages_written": self.stats.host_pages_written,
+                "gc_pages_written": self.stats.gc_pages_written,
+                "gc_runs": self.stats.gc_runs,
+                "background_gc_runs": self.stats.background_gc_runs,
+                "foreground_gc_stalls": self.stats.foreground_gc_stalls,
+                "pages_scrubbed": self.stats.pages_scrubbed,
+                "blocks_erased": self.stats.blocks_erased,
+            },
+            "valid": {key: sorted(pages) for key, pages in self._valid.items()},
+            "full_blocks": list(self._full_blocks),
+            "dies": [
+                (list(die.free_blocks), die.active_block, die.next_page)
+                for die in self._dies
+            ],
+            "next_die": self._next_die,
+            "generation": self._generation,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`capture_state` onto a
+        freshly constructed FTL (same geometry, background loop parked)."""
+        if state["generation"] != self._generation:
+            raise RuntimeError(
+                f"FTL generation mismatch: snapshot {state['generation']}, "
+                f"this instance {self._generation}")
+        self.map._l2p = dict(state["l2p"])
+        self.map._p2l = dict(state["p2l"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self._valid = {key: set(pages) for key, pages in state["valid"].items()}
+        self._full_blocks = list(state["full_blocks"])
+        for die, (free, active, next_page) in zip(self._dies, state["dies"]):
+            die.free_blocks = deque(free)
+            die.active_block = active
+            die.next_page = next_page
+        self._next_die = state["next_die"]
+
     # -- introspection --------------------------------------------------------
 
     @property

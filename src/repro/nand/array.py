@@ -89,6 +89,9 @@ class FlashArray:
         self.ecc = ecc or EccConfig()
         self._ecc_seed = (rng or RngStreams(0)).stream("ecc-seed").getrandbits(32)
         self._rng = (rng or RngStreams(0)).stream("nand")
+        # Shared zero page for never-programmed reads: peek() returns it by
+        # reference instead of allocating page_size zero bytes per miss.
+        self._zero_page = bytes(self.geometry.page_size)
         self._data: dict[int, bytes] = {}
         self._blocks: dict[tuple[int, int, int], _BlockState] = {}
         self._channels = [Resource(engine) for _ in range(self.geometry.channels)]
@@ -148,15 +151,53 @@ class FlashArray:
     def erase_count(self, channel: int, die: int, block: int) -> int:
         return self._block_state(channel, die, block).erase_count
 
+    # -- state capture -------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot array contents, wear state, stats, and the RNG stream.
+
+        Plain data only (picklable); legal any time no timed operation is
+        in flight — the platform-level snapshot enforces that by requiring
+        kernel quiescence first.
+        """
+        return {
+            "data": dict(self._data),
+            "blocks": {
+                key: (st.write_pointer, st.erase_count, sorted(st.programmed))
+                for key, st in self._blocks.items()
+            },
+            "stats": {
+                "page_reads": self.stats.page_reads,
+                "page_programs": self.stats.page_programs,
+                "block_erases": self.stats.block_erases,
+                "read_retries": self.stats.read_retries,
+            },
+            "rng": self._rng.getstate(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the plain-data state captured by :meth:`capture_state`.
+
+        Pages are programmed strictly in write-pointer order, so
+        re-inserting each ``programmed`` set in ascending page order
+        reproduces the original insertion history exactly.
+        """
+        self._data = dict(state["data"])
+        self._blocks = {
+            key: _BlockState(wp, ec, set(prog))
+            for key, (wp, ec, prog) in state["blocks"].items()
+        }
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self._rng.setstate(state["rng"])
+
     def is_programmed(self, ppn: int) -> bool:
         addr = self.address(ppn)
         return addr.page in self._block_state(addr.channel, addr.die, addr.block).programmed
 
     def peek(self, ppn: int) -> bytes:
         """Read page contents without timing (for assertions and recovery dumps)."""
-        if ppn not in self._data:
-            return bytes(self.geometry.page_size)
-        return self._data[ppn]
+        return self._data.get(ppn, self._zero_page)
 
     def _transfer_time(self, nbytes: int) -> float:
         return nbytes / self.CHANNEL_BYTES_PER_SEC
@@ -246,10 +287,11 @@ class FlashArray:
             if simsan.enabled:
                 simsan.die_op_end(self, addr, die_res, die_req, "program")
             die_res.release(die_req)
-        padded = data if len(data) == self.geometry.page_size else (
-            data + bytes(self.geometry.page_size - len(data))
-        )
-        self._data[ppn] = bytes(padded)
+        if len(data) != self.geometry.page_size:
+            data = bytes(data) + bytes(self.geometry.page_size - len(data))
+        elif type(data) is not bytes:
+            data = bytes(data)
+        self._data[ppn] = data
         state.programmed.add(addr.page)
         state.write_pointer = addr.page + 1
         self.stats.page_programs += 1
@@ -384,6 +426,29 @@ class _NandBatch:
 
     def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
         raise NotImplementedError
+
+    def prime(self, die_indices: "list[int]") -> None:
+        """Recreate the per-die queue/worker pairs for ``die_indices``.
+
+        Used by the snapshot/restore protocol: a lazily created worker
+        costs two kernel sequence numbers on its first submission (process
+        bootstrap plus the buffered get) where a parked worker costs one
+        (the put-side wake-up).  Priming the dies that had workers at
+        capture time — in captured order — makes every post-restore
+        submission consume exactly the sequence numbers the original run
+        would have, keeping same-time event ordering identical.
+        """
+        for die_index in die_indices:
+            if die_index in self._queues:
+                continue
+            queue = Store(self.engine)
+            self._queues[die_index] = queue
+            self._workers.append(
+                self.engine.process(
+                    self._worker(self.array._dies[die_index], queue),
+                    name=f"{type(self).__name__}[die{die_index}]",
+                )
+            )
 
     def _abort(self, queue: Store, die_res: Resource) -> None:
         """Cancel the die reservations of not-yet-started items after a
@@ -552,10 +617,11 @@ class NandProgramBatch(_NandBatch):
             except BaseException:
                 self._abort(queue, die_res)
                 raise
-            padded = data if len(data) == page_size else (
-                data + bytes(page_size - len(data))
-            )
-            array._data[ppn] = bytes(padded)
+            if len(data) != page_size:
+                data = bytes(data) + bytes(page_size - len(data))
+            elif type(data) is not bytes:
+                data = bytes(data)
+            array._data[ppn] = data
             state.programmed.add(addr.page)
             state.write_pointer = addr.page + 1
             stats.page_programs += 1

@@ -66,6 +66,27 @@ class Tracer:
             "counters": dict(sorted(self.counters.items())),
         }
 
+    def absorb(self, payload: dict) -> None:
+        """Fold a :meth:`snapshot` payload (possibly from another process)
+        into this tracer.
+
+        The run-matrix executor ships each leg's tracer across the
+        process boundary as its snapshot dict and absorbs them in leg
+        order; histogram merging is bucket-count addition, so absorbing
+        partitions of a workload in a fixed order reproduces the
+        serial-run tracer exactly.
+        """
+        for name, data in payload.get("histograms", {}).items():
+            incoming = HistogramSnapshot.from_dict(data)
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                self.histograms[name] = LatencyHistogram.from_snapshot(incoming)
+            else:
+                merged = histogram.snapshot().merge(incoming)
+                self.histograms[name] = LatencyHistogram.from_snapshot(merged)
+        for name, delta in payload.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + delta
+
     def merged_snapshot(self, name_prefix: str = "") -> HistogramSnapshot:
         """One histogram folding every span whose name starts with the prefix
         (e.g. ``"wal."`` merges all WAL backends' commit distributions)."""

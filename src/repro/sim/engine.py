@@ -479,6 +479,47 @@ class Engine:
         """Convenience: start ``generator`` and run until it completes."""
         return self.run(until=self.process(generator, name=name))
 
+    # -- state capture ------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when no event is scheduled or deferred (the queue drained)."""
+        return not self._queue and not self._deferred
+
+    def capture_state(self) -> dict:
+        """Snapshot the kernel scalars (clock, sequence counter).
+
+        Only legal at quiescence: live heap entries and deferred
+        continuations hold generator frames and cannot be serialized, so
+        a snapshot of a busy engine could never be restored faithfully.
+        """
+        if not self.quiescent():
+            raise SimulationError(
+                "engine state capture requires a quiescent engine "
+                f"({len(self._queue)} queued, {len(self._deferred)} deferred)"
+            )
+        return {"now": self.now, "sequence": self._sequence}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore clock and sequence counter captured by :meth:`capture_state`.
+
+        Must run *after* every component has re-parked its service
+        processes (so their bootstrap events have already been consumed at
+        time 0); moving the clock forward first would strand those
+        deferred continuations behind ``now``.
+        """
+        if not self.quiescent():
+            raise SimulationError(
+                "engine state restore requires a quiescent engine")
+        now = float(state["now"])
+        sequence = int(state["sequence"])
+        if now < self.now or sequence < self._sequence:
+            raise SimulationError(
+                "engine restore would move time or the sequence counter "
+                f"backwards (now {self.now} -> {now}, "
+                f"seq {self._sequence} -> {sequence})")
+        self.now = now
+        self._sequence = sequence
+
     def purge(self) -> int:
         """Drop every scheduled event (crash semantics: in-flight work dies).
 

@@ -31,3 +31,18 @@ class RngStreams:
         """Return a child factory whose streams are independent of this one's."""
         digest = hashlib.sha256(f"{self.root_seed}:fork:{name}".encode()).digest()
         return RngStreams(int.from_bytes(digest[:8], "big"))
+
+    def capture_state(self) -> dict:
+        """Snapshot every instantiated substream's generator state.
+
+        ``random.Random.getstate()`` tuples are plain data (ints in
+        tuples), so the capture pickles and survives process boundaries.
+        Streams not yet instantiated need no capture: re-creating them
+        from ``(root_seed, name)`` is already deterministic.
+        """
+        return {name: stream.getstate() for name, stream in self._streams.items()}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore substream states captured by :meth:`capture_state`."""
+        for name, value in state.items():
+            self.stream(name).setstate(value)

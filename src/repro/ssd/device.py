@@ -88,6 +88,55 @@ class BlockSSD:
     def dirty_cache_pages(self) -> int:
         return len(self._dirty) + len(self._destaging)
 
+    # -- state capture ---------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot device state for the warm-start protocol.
+
+        Requires a fully destaged cache (``drain()`` first): dirty pages
+        live in OrderedDicts keyed by LPN and their destage order rides
+        the kernel queues, which a snapshot cannot carry.
+        """
+        if self.dirty_cache_pages:
+            raise RuntimeError(
+                f"device capture with {self.dirty_cache_pages} dirty cache pages; "
+                "drain() before snapshotting")
+        if self._epoch != 0:
+            raise RuntimeError("device capture after a crash/reboot is unsupported")
+        if self._drain_waiters or self._empty_waiters:
+            raise RuntimeError("device capture with parked cache waiters")
+        return {
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "flushes": self.stats.flushes,
+                "bytes_read": self.stats.bytes_read,
+                "bytes_written": self.stats.bytes_written,
+                "gated_writes": self.stats.gated_writes,
+            },
+            "latency_rng": self._latency_rng.getstate(),
+            "flash": self.flash.capture_state(),
+            "ftl": self.ftl.capture_state(),
+            # Dies whose batch workers existed at capture, in creation
+            # order — restore re-primes them so post-restore submissions
+            # consume identical kernel sequence numbers.
+            "destage_dies": list(self._destage_batch._queues.keys()),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore onto a freshly constructed device of the same profile.
+
+        The engine must still be at time 0 with the destage workers
+        parked; the caller runs the engine afterwards to park the primed
+        batch workers, then advances the kernel clock.
+        """
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self._latency_rng.setstate(state["latency_rng"])
+        self.flash.restore_state(state["flash"])
+        self.ftl.restore_state(state["ftl"])
+        self._destage_batch.prime(state["destage_dies"])
+
     # -- host commands ---------------------------------------------------------
 
     def write(self, lpn: int, data: bytes) -> Iterator[Event]:

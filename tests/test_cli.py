@@ -59,3 +59,45 @@ class TestCli:
         for section in ("## Table I", "## Fig. 7", "## Fig. 8", "## Fig. 9",
                         "## Fig. 10", "## Ablations"):
             assert section in text
+
+
+class TestPerfExitCode:
+    """``repro perf`` must be a usable CI gate: exit 0 iff targets pass."""
+
+    @staticmethod
+    def _payload(passed: bool) -> dict:
+        from repro.bench import wallclock
+
+        return {
+            "schema": wallclock.SCHEMA,
+            "baseline": dict(wallclock.BASELINE),
+            "targets": dict(wallclock.TARGETS),
+            "results": {
+                "microbench": {
+                    "iters_per_sec": 1.0,
+                    "events_per_sec": 8.0,
+                    "baseline_iters_per_sec": 1.0,
+                    "baseline_events_per_sec": 8.0,
+                    "speedup_vs_baseline": 1.0,
+                },
+            },
+            "pass": passed,
+        }
+
+    def _run_perf(self, monkeypatch, tmp_path, passed: bool) -> int:
+        from repro.bench import wallclock
+
+        monkeypatch.setattr(
+            wallclock, "run_harness",
+            lambda skip_figs=False, jobs=4, snapshot_cache=None:
+                self._payload(passed))
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            return main(["perf", "--skip-figs",
+                         "--output", str(tmp_path / "BENCH.json")])
+
+    def test_perf_exits_zero_when_targets_met(self, monkeypatch, tmp_path):
+        assert self._run_perf(monkeypatch, tmp_path, passed=True) == 0
+
+    def test_perf_exits_nonzero_when_targets_missed(self, monkeypatch, tmp_path):
+        assert self._run_perf(monkeypatch, tmp_path, passed=False) == 1

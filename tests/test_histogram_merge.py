@@ -1,0 +1,119 @@
+"""Histogram merge algebra and cross-process tracer absorption.
+
+The run-matrix executor merges per-leg tracer payloads back into one
+tracer, so the whole observability story under parallel execution rests
+on two properties: ``HistogramSnapshot.merge`` is associative and
+commutative (order of absorption cannot matter), and absorbing the
+payloads of a partitioned workload reproduces the serial tracer's
+``merged_snapshot`` exactly.
+"""
+
+import random
+
+from repro.obs.histogram import HistogramSnapshot, LatencyHistogram
+from repro.obs.tracing import Tracer
+
+
+def _snapshot(values) -> HistogramSnapshot:
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    return histogram.snapshot()
+
+
+# Dyadic rationals (small-mantissa multiples of 2^-24): sums of a few
+# hundred of them are exact in IEEE 754, so regrouping the additions —
+# which is all merge/absorb reordering does to `total` — cannot shift an
+# ulp and equality below is exact, not approximate.
+def _dyadic(rng: random.Random) -> float:
+    return rng.randrange(1, 1 << 20) * 2.0 ** -24
+
+
+def _sample_sets(seed: int = 42) -> list[list[float]]:
+    rng = random.Random(seed)
+    return [[_dyadic(rng) for _ in range(count)] for count in (1, 17, 300)]
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        a, b, _ = map(_snapshot, _sample_sets())
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_is_associative(self):
+        a, b, c = map(_snapshot, _sample_sets())
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_merge_equals_single_histogram_over_the_union(self):
+        sets = _sample_sets()
+        merged = _snapshot(sets[0]).merge(_snapshot(sets[1])).merge(
+            _snapshot(sets[2]))
+        union = _snapshot([v for values in sets for v in values])
+        assert merged == union
+
+    def test_empty_is_identity_on_both_sides(self):
+        empty = LatencyHistogram().snapshot()
+        full = _snapshot(_sample_sets()[2])
+        assert empty.merge(full) == full
+        assert full.merge(empty) == full
+
+    def test_merge_preserves_extremes_and_mass(self):
+        a, b, _ = map(_snapshot, _sample_sets(7))
+        merged = a.merge(b)
+        assert merged.count == a.count + b.count
+        assert merged.total == a.total + b.total
+        assert merged.minimum == min(a.minimum, b.minimum)
+        assert merged.maximum == max(a.maximum, b.maximum)
+
+
+class TestTracerAbsorption:
+    @staticmethod
+    def _record(tracer: Tracer, spans) -> None:
+        for name, value in spans:
+            tracer.observe(name, value)
+            tracer.count(f"count.{name}")
+
+    def _spans(self, seed: int = 9, n: int = 400):
+        rng = random.Random(seed)
+        names = ("wal.commit", "wal.append", "ssd.nvme.submit")
+        return [(rng.choice(names), _dyadic(rng)) for _ in range(n)]
+
+    def test_absorbing_partitions_reproduces_the_serial_tracer(self):
+        spans = self._spans()
+        serial = Tracer()
+        self._record(serial, spans)
+
+        absorbed = Tracer()
+        for start in range(0, len(spans), 100):  # 4 "leg" partitions
+            part = Tracer()
+            self._record(part, spans[start:start + 100])
+            absorbed.absorb(part.snapshot())
+
+        assert absorbed.snapshot() == serial.snapshot()
+        assert (absorbed.merged_snapshot("wal.")
+                == serial.merged_snapshot("wal."))
+
+    def test_absorption_order_does_not_matter(self):
+        spans = self._spans(seed=31)
+        parts = []
+        for start in range(0, len(spans), 100):
+            part = Tracer()
+            self._record(part, spans[start:start + 100])
+            parts.append(part.snapshot())
+
+        forward, backward = Tracer(), Tracer()
+        for payload in parts:
+            forward.absorb(payload)
+        for payload in reversed(parts):
+            backward.absorb(payload)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_absorb_round_trips_through_json_safe_payload(self):
+        import json
+
+        part = Tracer()
+        self._record(part, self._spans(seed=5, n=50))
+        payload = json.loads(json.dumps(part.snapshot()))
+
+        fresh = Tracer()
+        fresh.absorb(payload)
+        assert fresh.snapshot() == part.snapshot()

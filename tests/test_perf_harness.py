@@ -38,6 +38,20 @@ def test_committed_bench_artifact_is_schema_valid():
     assert payload["pass"] is True
 
 
+def test_committed_artifact_reports_runner_speedups():
+    """The committed runner section must meet its targets with the cache
+    accounting that explains *why* (warm legs hitting one stored snapshot)."""
+    payload = json.loads(ARTIFACT.read_text())
+    runner = payload["results"]["runner"]
+    targets = payload["targets"]
+    assert runner["deterministic"] is True
+    assert runner["matrix_speedup"] >= targets["runner_matrix_speedup_min"]
+    assert runner["sweep"]["speedup"] >= targets["runner_sweep_speedup_min"]
+    cache = runner["snapshot_cache"]
+    assert cache["misses"] == cache["stores"]
+    assert cache["hits"] >= 1
+
+
 def test_validate_report_rejects_malformed_payloads():
     good = {
         "schema": wallclock.SCHEMA,
@@ -57,3 +71,10 @@ def test_validate_report_rejects_malformed_payloads():
     bad_micro = {**good, "results": {"microbench": {"iters_per_sec": "fast"}}}
     with pytest.raises(ValueError):
         wallclock.validate_report(bad_micro)
+    bad_runner = {**good, "results": {
+        **good["results"],
+        "runner": {"matrix_speedup": 2.5, "serial_seconds": 1.0,
+                   "parallel_seconds": 0.4, "sweep": {"speedup": 2.0}},
+    }}
+    with pytest.raises(ValueError, match="deterministic"):
+        wallclock.validate_report(bad_runner)
