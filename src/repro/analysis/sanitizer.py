@@ -170,6 +170,22 @@ def stats() -> dict[str, int]:
     return {"checks": _state.checks, "violations": _state.violations}
 
 
+def crash_reset() -> None:
+    """Void all in-flight protocol state after a simulated crash.
+
+    A kernel ``purge()`` finalizes every in-flight generator at once, so
+    lockset entries, die-op counts, and open BA_SYNC scopes belong to
+    processes that no longer exist — a stale unflushed scope would flag
+    the *next* write-verify read as reordered when the real protocol
+    around it is sound.  Counters survive: the crash does not un-happen
+    the checks that ran before it.
+    """
+    _state.granted.clear()
+    _state.active_die_ops.clear()
+    _state.op_stack.clear()
+    _state.syncs.clear()
+
+
 # -- resource lockset ---------------------------------------------------------
 
 

@@ -191,11 +191,28 @@ def scenario_cluster_replicated() -> dict:
     return report
 
 
+def scenario_nemesis_campaign() -> dict:
+    """The canonical 3-node nemesis campaign (seed 4242).
+
+    A replica power loss followed by a primary-side partition on a
+    3-device pool: exercises the crash purge, failover promotion, the
+    pipeline/WAL respawn path, and the streaming analyzer end to end.
+    The whole campaign verdict is the fixture, so any drift in crash
+    semantics, event counts, or analyzer bookkeeping shows up
+    byte-for-byte.
+    """
+    from repro.nemesis.campaign import run_campaign
+    from repro.nemesis.legs import CAMPAIGNS
+
+    return run_campaign(CAMPAIGNS["golden-3node"])
+
+
 SCENARIOS: dict[str, Callable[[], dict]] = {
     "ba_datapath": scenario_ba_datapath,
     "ycsb_bawal": scenario_ycsb_bawal,
     "block_gc": scenario_block_gc,
     "cluster_replicated": scenario_cluster_replicated,
+    "nemesis_campaign": scenario_nemesis_campaign,
 }
 
 

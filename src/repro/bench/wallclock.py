@@ -55,6 +55,13 @@ TARGETS = {
     "cluster_scaling_min": 3.0,
     "runner_matrix_speedup_min": 2.0,
     "runner_sweep_speedup_min": 1.3,
+    # Per-leg ratchets: the combined fig7+fig8 reduction is dominated by
+    # fig8 (200x the baseline runtime), so a fig7 regression can hide
+    # behind the aggregate pass.  Each leg also has to clear its own
+    # floor, set just below the currently measured ratio so any further
+    # slide fails the harness on that leg by name.
+    "fig7_speedup_min": 0.12,
+    "fig8_speedup_min": 3.0,
 }
 
 #: The fixed client load the cluster-scaling section applies to every
@@ -271,6 +278,17 @@ def run_harness(skip_figs: bool = False, jobs: int = 4,
             "reduction_fraction": round(reduction, 4),
         }
         passed = passed and reduction >= TARGETS["figs_combined_reduction_min"]
+        results["leg_gates"] = [
+            {
+                "leg": fig,
+                "observed": results[fig]["speedup_vs_baseline"],
+                "min": TARGETS[f"{fig}_speedup_min"],
+                "ok": (results[fig]["speedup_vs_baseline"]
+                       >= TARGETS[f"{fig}_speedup_min"]),
+            }
+            for fig in ("fig7", "fig8")
+        ]
+        passed = passed and all(gate["ok"] for gate in results["leg_gates"])
         runner = run_runner_section(jobs=jobs, snapshot_cache=snapshot_cache)
         results["runner"] = runner
         passed = passed and (
@@ -312,6 +330,22 @@ def validate_report(payload: dict) -> None:
     if cluster is not None and not isinstance(
             cluster.get("scaling_1_to_4"), (int, float)):
         raise ValueError("results.cluster.scaling_1_to_4 missing or non-numeric")
+    gates = payload["results"].get("leg_gates")
+    if gates is not None:
+        # Optional: reports predating the per-leg ratchets omit it.
+        if not isinstance(gates, list):
+            raise ValueError("results.leg_gates must be a list")
+        for gate in gates:
+            if not isinstance(gate.get("leg"), str):
+                raise ValueError("leg_gates entry missing 'leg' name")
+            for key in ("observed", "min"):
+                if not isinstance(gate.get(key), (int, float)):
+                    raise ValueError(
+                        f"leg_gates[{gate.get('leg')!r}].{key} missing or "
+                        "non-numeric")
+            if not isinstance(gate.get("ok"), bool):
+                raise ValueError(
+                    f"leg_gates[{gate.get('leg')!r}].ok missing or non-bool")
     runner = payload["results"].get("runner")
     if runner is not None:
         for key in ("matrix_speedup", "serial_seconds", "parallel_seconds"):
@@ -355,6 +389,11 @@ def format_report(payload: dict) -> str:
         lines.append(
             f"combined   : {combined['seconds']:>9.3f} s wall  "
             f"({combined['reduction_fraction'] * 100:.1f}% below baseline)")
+    for gate in payload["results"].get("leg_gates", ()):
+        lines.append(
+            f"gate       : {gate['leg']} {gate['observed']:.3f}x vs "
+            f"{gate['min']:.2f}x floor "
+            f"({'ok' if gate['ok'] else 'FAIL'})")
     runner = payload["results"].get("runner")
     if runner:
         lines.append(

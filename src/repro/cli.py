@@ -11,6 +11,7 @@
     python -m repro ablations            # all five+ ablation studies
     python -m repro trace [--json P]     # traced workload, per-span latencies
     python -m repro cluster              # replicated logging on a device pool
+    python -m repro nemesis [--jobs N]   # fault-injection campaign matrix
     python -m repro lint [paths...]      # determinism/kernel/obs linter
     python -m repro <cmd> --sanitize     # run with the runtime sanitizer on
 
@@ -226,6 +227,59 @@ def _cmd_cluster(args) -> None:
                        ["device", "pinned"], synced))
 
 
+def _cmd_nemesis(args) -> int:
+    """Run nemesis campaigns: one by name (replay), or the whole matrix
+    fanned out on the run-matrix executor."""
+    import dataclasses
+    import json
+
+    from repro.nemesis import CAMPAIGNS, run_campaign
+    from repro.nemesis.legs import nemesis_matrix
+
+    if args.list_campaigns:
+        rows = [
+            (name, spec.seed, spec.devices,
+             ", ".join(f.kind for f in spec.faults))
+            for name, spec in sorted(CAMPAIGNS.items())
+        ]
+        print(format_table("Registered nemesis campaigns",
+                           ["campaign", "seed", "devices", "faults"], rows))
+        return 0
+    if args.campaign is not None:
+        spec = CAMPAIGNS[args.campaign]
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        result = run_campaign(spec, bundle_dir=args.bundle_dir)
+        print(json.dumps(result, sort_keys=True, indent=1))
+        return 0 if result["ok"] else 1
+    from repro.bench.runner import run_legs
+
+    report = run_legs(nemesis_matrix(bundle_dir=args.bundle_dir),
+                      jobs=args.jobs)
+    failed = 0
+    rows = []
+    for leg_id, result in report.results.items():
+        if not result["ok"]:
+            failed += 1
+        rows.append((
+            leg_id,
+            "ok" if result["ok"] else "FAIL",
+            sum(result["records_acked"].values()),
+            result["quorum_losses"],
+            len(result["analysis"]["violations"]),
+        ))
+    print(format_table(
+        f"Nemesis matrix: {len(rows)} campaigns, jobs={args.jobs}",
+        ["campaign", "verdict", "acked", "quorum losses", "violations"],
+        rows))
+    print()
+    print(f"{len(rows) - failed}/{len(rows)} campaigns passed "
+          f"({report.wall_seconds:.1f}s wall, jobs={report.jobs})")
+    if failed and args.bundle_dir:
+        print(f"replay bundles under {args.bundle_dir}/")
+    return 1 if failed else 0
+
+
 def _cmd_perf(args) -> int:
     """Measure simulator wall-clock performance; write BENCH_wallclock.json.
 
@@ -285,6 +339,8 @@ COMMANDS = {
     "ablations": (_cmd_ablations, "run every ablation study"),
     "trace": (_cmd_trace, "run a traced workload; dump per-span latencies"),
     "cluster": (_cmd_cluster, "run a replicated-logging demo on a device pool"),
+    "nemesis": (_cmd_nemesis, "run fault-injection campaigns with the "
+                              "streaming analyzer"),
     "perf": (_cmd_perf, "measure wall-clock perf; write BENCH_wallclock.json"),
     "report": (_cmd_report, "run everything and write a markdown report"),
 }
@@ -343,6 +399,22 @@ def main(argv: list[str] | None = None) -> int:
                              help="record payload bytes (default 512)")
             cmd.add_argument("--seed", type=int, default=11,
                              help="pool seed (default 11)")
+        if name == "nemesis":
+            cmd.add_argument("--campaign", metavar="NAME", default=None,
+                             help="run one registered campaign instead of "
+                                  "the full matrix")
+            cmd.add_argument("--seed", type=int, default=None,
+                             help="override the campaign's seed "
+                                  "(replay; requires --campaign)")
+            cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the matrix "
+                                  "(default 1)")
+            cmd.add_argument("--bundle-dir", metavar="DIR", default=None,
+                             help="write replay bundles for failed "
+                                  "campaigns under DIR")
+            cmd.add_argument("--list", dest="list_campaigns",
+                             action="store_true",
+                             help="list registered campaigns and exit")
         if name == "trace":
             cmd.add_argument("--ops", type=int, default=2000,
                              help="YCSB operations to run (default 2000)")

@@ -41,7 +41,7 @@ from repro.cluster.failover import (
 )
 from repro.cluster.interconnect import Interconnect, NetParams, NetStats
 from repro.cluster.placement import Placement
-from repro.cluster.pool import DevicePool, PoolNode, StreamLeg
+from repro.cluster.pool import DevicePool, PoolNode, PoolSnapshot, StreamLeg
 from repro.cluster.replicated import ReplicatedBaWAL
 
 __all__ = [
@@ -59,6 +59,7 @@ __all__ = [
     "Placement",
     "PlacementError",
     "PoolNode",
+    "PoolSnapshot",
     "QuorumLossError",
     "ReplicatedBaWAL",
     "StreamLeg",

@@ -24,11 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.analysis import sanitizer as simsan
 from repro.cluster.errors import ClusterError, NoSpareError
 from repro.cluster.pool import DevicePool, PoolNode, StreamLeg
 from repro.cluster.replicated import ReplicatedBaWAL
 from repro.core.power import PowerLossReport
-from repro.obs import tracing
+from repro.obs import events, tracing
 from repro.sim.engine import Event, Process
 
 
@@ -75,6 +76,23 @@ class ClusterCrashHarness:
         target = engine.now + crash_time
         engine.run(until=target)
         finished = process is None or process.processed
+        report, discarded = self.crash_node_now(victim)
+        return ClusterCrashOutcome(
+            crash_time=target,
+            victim=victim,
+            workload_finished=finished,
+            report=report,
+            events_discarded=discarded,
+        )
+
+    def crash_node_now(self, victim: str) -> tuple[PowerLossReport, int]:
+        """Fail ``victim`` at the current instant (no workload bookkeeping
+        — the nemesis scheduler owns its own timeline).  Returns the
+        victim's power-loss report and the purged-event count."""
+        engine = self.engine
+        node = self.pool.nodes[victim]
+        if not node.up:
+            raise ClusterError(f"node {victim!r} is already down")
         # The victim loses power: WC lines, in-flight posted writes, and
         # un-dumped BA-buffer bytes die; capacitors save what they can.
         report = node.platform.power.power_loss()
@@ -84,6 +102,11 @@ class ClusterCrashHarness:
             for device in pool_node.platform.power._devices:
                 device.halt()
         discarded = engine.purge()
+        # Transfers parked on a partition barrier died in the purge; swap
+        # the barriers so a later heal cannot resurrect them.
+        self.pool.net.fence_partitions()
+        if simsan.enabled:
+            simsan.crash_reset()
         for pool_node in self.pool.nodes.values():
             for device in pool_node.platform.power._devices:
                 device.reboot()
@@ -91,15 +114,13 @@ class ClusterCrashHarness:
         # pool until an operator (or test) re-admits it.
         node.platform.power.power_on()
         self.pool.mark_down(victim)
+        if events.enabled:
+            events.emit("cluster.node.crashed", engine.now,
+                        victim=victim, events_discarded=discarded,
+                        up_nodes=len(self.pool.up_nodes()))
         if tracing.enabled:
             tracing.count("cluster.node_crashes")
-        return ClusterCrashOutcome(
-            crash_time=target,
-            victim=victim,
-            workload_finished=finished,
-            report=report,
-            events_discarded=discarded,
-        )
+        return report, discarded
 
 
 class FailoverManager:
@@ -145,6 +166,12 @@ class FailoverManager:
                 on_nodes=[survivor_leg.node.name, spare_node.name],
                 quorum=stream.quorum,
             ))
+            if events.enabled:
+                events.emit("cluster.failover.staged", self.engine.now,
+                            stream=stream_name,
+                            survivor=survivor_leg.node.name,
+                            spare=spare_node.name,
+                            recovered=len(recovered))
             # Replay: re-append the recovered log, then one quorum commit
             # covering all of it.
             lsn = 0
@@ -156,6 +183,11 @@ class FailoverManager:
             new_stream.name = stream_name
             pool.streams[stream_name] = new_stream
             del pool.streams[staging]
+            if events.enabled:
+                events.emit("cluster.failover.promoted", self.engine.now,
+                            stream=stream_name,
+                            nodes=tuple(leg.node.name
+                                        for leg in new_stream.legs()))
             # Only now release the old legs' budget (flushing still-pinned
             # entries); the downed node's budget is unreachable anyway.
             for leg in stream.legs():

@@ -63,13 +63,64 @@ class Interconnect:
         self.params = params or NetParams()
         self.stats = NetStats()
         self._egress_free_at: dict[str, float] = {}
+        # Fault injection (see repro.nemesis): an isolated node blackholes
+        # traffic — senders park on its barrier event until heal() fires
+        # it.  A degradation factor > 1 scales wire occupancy fabric-wide
+        # (congestion, a flapping optic).  Both empty/1.0 in healthy runs,
+        # so the fast path is untouched.
+        self._isolated: dict[str, Event] = {}
+        self._degradation = 1.0
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def isolate(self, node: str) -> None:
+        """Partition ``node`` off the fabric: transfers touching it park
+        until :meth:`heal`.  Idempotent."""
+        if node not in self._isolated:
+            self._isolated[node] = self.engine.event()
+
+    def heal(self, node: Optional[str] = None) -> None:
+        """End a partition (all of them with no argument); parked
+        transfers resume in their original send order."""
+        names = [node] if node is not None else sorted(self._isolated)
+        for name in names:
+            barrier = self._isolated.pop(name, None)
+            if barrier is not None and not barrier.triggered:
+                barrier.succeed()
+
+    def is_isolated(self, node: str) -> bool:
+        return node in self._isolated
+
+    def isolated_nodes(self) -> list[str]:
+        return sorted(self._isolated)
+
+    def fence_partitions(self) -> None:
+        """Crash hook: abandon the old barriers (their parked senders died
+        with the purged in-flight work and must never resume) while the
+        partitions themselves — physical network state — persist for
+        post-crash traffic."""
+        for node in list(self._isolated):
+            self._isolated[node] = self.engine.event()
+
+    def set_degradation(self, factor: float) -> None:
+        """Scale per-message wire occupancy by ``factor`` (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self._degradation = factor
+
+    def clear_degradation(self) -> None:
+        self._degradation = 1.0
+
+    # -- timed transfers -----------------------------------------------------
 
     def transfer(self, src: str, dst: str, nbytes: int) -> Iterator[Event]:
         """Process: move ``nbytes`` from host ``src`` to host ``dst``.
 
         Completes when the last byte has arrived at ``dst``.  Egress wire
-        occupancy is reserved up front (before any yield), so concurrent
-        senders on one node serialize deterministically in call order.
+        occupancy is reserved up front (before any timed yield), so
+        concurrent senders on one node serialize deterministically in
+        call order; senders parked behind a partition barrier resume (and
+        reserve) in that same order.
         """
         if nbytes < 0:
             raise ValueError(f"transfer size must be >= 0, got {nbytes}")
@@ -77,9 +128,17 @@ class Interconnect:
             raise ValueError(f"transfer from {src!r} to itself")
         params = self.params
         with tracing.span("cluster.net.send", self.engine):
+            barrier = self._isolated.get(src) or self._isolated.get(dst)
+            while barrier is not None:
+                yield barrier
+                # Re-check: the other endpoint may have been isolated
+                # while this sender was parked.
+                barrier = self._isolated.get(src) or self._isolated.get(dst)
             start = max(self.engine.now, self._egress_free_at.get(src, 0.0))
             occupancy = (params.message_overhead
                          + nbytes / params.bandwidth_bytes_per_sec)
+            if self._degradation != 1.0:
+                occupancy *= self._degradation
             self._egress_free_at[src] = start + occupancy
             arrival = start + occupancy + params.propagation
             yield self.engine.timeout(arrival - self.engine.now)

@@ -26,7 +26,7 @@ from repro.cluster.interconnect import Interconnect, NetParams
 from repro.cluster.placement import Placement
 from repro.cluster.replicated import ReplicatedBaWAL
 from repro.core import BaParams, MappingTableFullError
-from repro.obs import tracing
+from repro.obs import events, tracing
 from repro.platform import Platform
 from repro.sim import Engine, RngStreams
 from repro.sim.engine import Event
@@ -86,6 +86,26 @@ class PoolNode:
             )
         self._next_area_lpn += area_pages
         return lpn
+
+
+@dataclass
+class PoolSnapshot:
+    """A whole pool's post-warm-up state as plain, picklable data.
+
+    The cluster counterpart of :class:`~repro.platform.PlatformSnapshot`:
+    one engine capture (the clock is shared), one platform snapshot per
+    node plus the pool's own bookkeeping about it, and the interconnect's
+    egress reservations.  Same contract — capture at quiescence, restore
+    onto a freshly constructed identical pool — which is what lets warm
+    nemesis-campaign pools ride the run-matrix snapshot cache.
+    """
+
+    fingerprint: dict
+    engine: dict
+    nodes: list  # [(PlatformSnapshot, free_pairs, next_area_lpn), ...]
+    net_egress: dict
+    net_stats: dict
+    ba_fallbacks: int
 
 
 @dataclass
@@ -188,6 +208,12 @@ class DevicePool:
         stream = ReplicatedBaWAL(self.engine, self.net, name,
                                  legs[0], legs[1:], quorum=quorum)
         self.streams[name] = stream
+        if events.enabled:
+            events.emit("cluster.stream.opened", self.engine.now,
+                        stream=name,
+                        nodes=tuple(leg.node.name for leg in legs),
+                        kinds=tuple(leg.kind for leg in legs),
+                        quorum=stream.quorum)
         return stream
 
     def _start_leg(self, node: PoolNode) -> Iterator[Event]:
@@ -231,6 +257,9 @@ class DevicePool:
         self.ba_fallbacks += 1
         if tracing.enabled:
             tracing.count("cluster.pool.ba_fallbacks")
+        if events.enabled:
+            events.emit("cluster.stream.fallback", self.engine.now,
+                        node=node.name)
         start_lpn = node.alloc_area(self.area_pages)
         wal = BlockWAL(
             self.engine,
@@ -263,6 +292,73 @@ class DevicePool:
         for leg in stream.legs():
             yield self.engine.process(self.release_leg(leg))
         return None
+
+    # -- warm-state snapshots -----------------------------------------------
+
+    def _fingerprint(self) -> dict:
+        return {
+            "nodes": [node.platform._fingerprint()
+                      for node in self.nodes.values()],
+            "area_pages": self.area_pages,
+            "entry_pairs": self.entry_pairs,
+        }
+
+    def snapshot(self) -> PoolSnapshot:
+        """Capture the pool at kernel quiescence, streams closed, all
+        nodes up.  Open streams hold live WAL objects and parked replica
+        workers — per-process state a snapshot cannot carry — so warm a
+        pool (age the devices, exercise the placement ring), close its
+        streams, run the engine dry, then capture."""
+        if not self.engine.quiescent():
+            raise ClusterError(
+                "pool snapshot requires a quiescent engine; run it dry first")
+        if self.streams:
+            raise ClusterError(
+                f"pool snapshot with open streams {sorted(self.streams)}; "
+                "close them first")
+        if len(self.up_nodes()) != len(self.nodes):
+            raise ClusterError("pool snapshot requires every node up")
+        return PoolSnapshot(
+            fingerprint=self._fingerprint(),
+            engine=self.engine.capture_state(),
+            nodes=[(node.platform.snapshot(),
+                    list(node._free_pairs),
+                    node._next_area_lpn)
+                   for node in self.nodes.values()],
+            net_egress=dict(self.net._egress_free_at),
+            net_stats=self.net.stats_dict(),
+            ba_fallbacks=self.ba_fallbacks,
+        )
+
+    def restore(self, snap: PoolSnapshot) -> None:
+        """Adopt ``snap`` on a freshly constructed, identical pool.
+
+        Same load-bearing ordering as :meth:`Platform.restore`, with the
+        engine dance hoisted to pool level because the clock is shared:
+        run once (bootstraps park), restore every node's components, run
+        again (primed workers park), then advance the kernel state once.
+        """
+        self.engine.run()
+        if self.engine.now > 0.0:
+            raise ClusterError(
+                "pool snapshot restore requires a freshly constructed pool")
+        fingerprint = self._fingerprint()
+        if fingerprint != snap.fingerprint:
+            raise ClusterError(
+                f"pool snapshot fingerprint mismatch: captured "
+                f"{snap.fingerprint}, restoring onto {fingerprint}")
+        for node, (platform_snap, free_pairs, next_lpn) in zip(
+                self.nodes.values(), snap.nodes):
+            node.platform.restore_components(platform_snap)
+            node._free_pairs = list(free_pairs)
+            node._next_area_lpn = next_lpn
+        self.net._egress_free_at = dict(snap.net_egress)
+        self.net.stats.messages = snap.net_stats["messages"]
+        self.net.stats.bytes_sent = snap.net_stats["bytes_sent"]
+        self.net.stats.control_messages = snap.net_stats["control_messages"]
+        self.ba_fallbacks = snap.ba_fallbacks
+        self.engine.run()
+        self.engine.restore_state(snap.engine)
 
     # -- observability ------------------------------------------------------
 

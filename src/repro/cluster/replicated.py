@@ -25,7 +25,7 @@ from typing import Iterator, Optional
 
 from repro.cluster.errors import QuorumLossError
 from repro.cluster.interconnect import Interconnect
-from repro.obs import tracing
+from repro.obs import events, tracing
 from repro.sim import Engine, Store
 from repro.sim.engine import Event
 from repro.wal.base import WalStats, WriteAheadLog
@@ -43,8 +43,16 @@ class _ReplicaLeg:
         self.leg = leg
         self.queue = Store(engine)
         self.local_lsn = 0
-        engine.process(self._worker(),
-                       name=f"replica-{leg.node.name}")
+        self.worker = engine.process(self._worker(),
+                                     name=f"replica-{leg.node.name}")
+
+    def parked(self) -> bool:
+        """True while the worker is blocked on an *empty* queue — the only
+        worker state that survives a kernel purge, because the getter
+        event is Store bookkeeping, not scheduled work.  A worker caught
+        mid-apply (transfer, append, commit) dies with the purge and can
+        never be woken again."""
+        return self.worker._waiting_on in self.queue._getters
 
     def _worker(self) -> Iterator[Event]:
         engine = self.engine
@@ -105,6 +113,36 @@ class ReplicatedBaWAL(WriteAheadLog):
     def legs(self) -> list:
         return [self.primary, *self.replica_legs]
 
+    def respawn_workers(self) -> int:
+        """Re-create every replica pipeline whose worker died in a kernel
+        purge (any node crash purges the *shared* engine, so even streams
+        whose legs are all healthy can lose their pipelines mid-apply).
+
+        Records still queued to a dead worker are dropped with it — the
+        socket-buffer semantics the module docstring promises — which is
+        safe because nothing queued-but-unapplied was ever quorum-acked.
+        Idle workers (parked on an empty queue) survive purges and are
+        left alone.  Every leg's WAL host object is also repaired
+        (``crash_reset``): a purge strands insert locks and half-recycles
+        whose holders died.  Returns the number of pipelines re-created.
+
+        Call from *outside* the kernel only (WAL repair drives the engine
+        through ``run_process``).
+        """
+        for leg in self.legs():
+            reset = getattr(leg.wal, "crash_reset", None)
+            if reset is not None:
+                reset()
+        respawned = 0
+        for index, replica in enumerate(self._replicas):
+            if replica.parked():
+                continue
+            self._replicas[index] = _ReplicaLeg(
+                self.engine, self.net, self.primary.node.name, replica.leg
+            )
+            respawned += 1
+        return respawned
+
     # -- WriteAheadLog interface --------------------------------------------
 
     @property
@@ -160,6 +198,11 @@ class ReplicatedBaWAL(WriteAheadLog):
             acks.append(ack)
         yield self.engine.process(self._await_quorum(acks))
         self._quorum_durable = max(self._quorum_durable, lsn)
+        if events.enabled:
+            events.emit("cluster.commit.acked", self.engine.now,
+                        stream=self.name, lsn=lsn, quorum=self.quorum,
+                        up_legs=sum(1 for leg in self.legs()
+                                    if leg.node.up))
         if tracing.enabled:
             tracing.observe("cluster.quorum_wait", self.engine.now - _t0)
             tracing.count("cluster.commits")

@@ -99,6 +99,11 @@ class FlashArray:
             Resource(engine)
             for _ in range(self.geometry.channels * self.geometry.dies_per_channel)
         ]
+        # die index -> cell-op latency multiplier (fault injection: a
+        # marginal die whose tR/tPROG/tBERS run slow).  Empty in normal
+        # operation, and every timed site guards on that, so the healthy
+        # path computes byte-identical timeouts with the dict absent.
+        self._die_slowdown: dict[int, float] = {}
         self.stats = FlashStats()
 
     # -- helpers -------------------------------------------------------------
@@ -111,6 +116,28 @@ class FlashArray:
 
     def _die_resource(self, channel: int, die: int) -> Resource:
         return self._dies[channel * self.geometry.dies_per_channel + die]
+
+    def die_index(self, channel: int, die: int) -> int:
+        """Flat die index (the key :meth:`set_die_slowdown` takes)."""
+        return channel * self.geometry.dies_per_channel + die
+
+    def set_die_slowdown(self, die_index: int, factor: float) -> None:
+        """Multiply one die's cell-op latencies (tR/tPROG/tBERS) by
+        ``factor``.  Channel transfer time is unaffected — the bus is
+        healthy, the cells are slow.  Deterministic: the RNG draw per op
+        is unchanged, only the sampled duration is scaled."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        if not 0 <= die_index < len(self._dies):
+            raise ValueError(f"die index {die_index} out of range")
+        self._die_slowdown[die_index] = factor
+
+    def clear_die_slowdown(self, die_index: Optional[int] = None) -> None:
+        """Heal one slowed die (or all of them with no argument)."""
+        if die_index is None:
+            self._die_slowdown.clear()
+        else:
+            self._die_slowdown.pop(die_index, None)
 
     def reboot(self) -> None:
         """Reset transient controller state after a crash (bus/die arbiters
@@ -228,8 +255,13 @@ class FlashArray:
         if simsan.enabled:
             simsan.die_op_begin(self, addr, die_res, die_req, "read")
         try:
+            slow = self._die_slowdown
+            factor = slow.get(self.die_index(addr.channel, addr.die), 1.0) if slow else 1.0
             for _sense in range(1 + retries):
-                yield self.engine.timeout(self.timing.sample_read(self._rng))
+                sense = self.timing.sample_read(self._rng)
+                if factor != 1.0:
+                    sense *= factor
+                yield self.engine.timeout(sense)
             channel_res = self._channels[addr.channel]
             chan_req = channel_res.request()
             yield chan_req
@@ -282,7 +314,11 @@ class FlashArray:
                 yield self.engine.timeout(self._transfer_time(len(data)))
             finally:
                 channel_res.release(chan_req)
-            yield self.engine.timeout(self.timing.sample_program(self._rng))
+            program = self.timing.sample_program(self._rng)
+            slow = self._die_slowdown
+            if slow:
+                program *= slow.get(self.die_index(addr.channel, addr.die), 1.0)
+            yield self.engine.timeout(program)
         finally:
             if simsan.enabled:
                 simsan.die_op_end(self, addr, die_res, die_req, "program")
@@ -373,7 +409,11 @@ class FlashArray:
         if simsan.enabled:
             simsan.die_op_begin(self, erase_addr, die_res, die_req, "erase")
         try:
-            yield self.engine.timeout(self.timing.sample_erase(self._rng))
+            erase = self.timing.sample_erase(self._rng)
+            slow = self._die_slowdown
+            if slow:
+                erase *= slow.get(self.die_index(channel, die), 1.0)
+            yield self.engine.timeout(erase)
         finally:
             if simsan.enabled:
                 simsan.die_op_end(self, erase_addr, die_res, die_req, "erase")
@@ -524,8 +564,16 @@ class NandReadBatch(_NandBatch):
                 if simsan.enabled:
                     simsan.die_op_begin(array, addr, die_res, die_req, "read")
                 try:
+                    # Consult the slowdown map per op (not at worker
+                    # start): a die can sicken or heal mid-batch.
+                    slow = array._die_slowdown
+                    factor = (slow.get(array.die_index(addr.channel, addr.die), 1.0)
+                              if slow else 1.0)
                     for _sense in range(1 + retries):
-                        yield engine.timeout(timing.sample_read(rng))
+                        sense = timing.sample_read(rng)
+                        if factor != 1.0:
+                            sense *= factor
+                        yield engine.timeout(sense)
                     channel_res = array._channels[addr.channel]
                     chan_req = channel_res.request()
                     yield chan_req
@@ -609,7 +657,12 @@ class NandProgramBatch(_NandBatch):
                         yield engine.timeout(array._transfer_time(len(data)))
                     finally:
                         channel_res.release(chan_req)
-                    yield engine.timeout(timing.sample_program(rng))
+                    program = timing.sample_program(rng)
+                    slow = array._die_slowdown
+                    if slow:
+                        program *= slow.get(
+                            array.die_index(addr.channel, addr.die), 1.0)
+                    yield engine.timeout(program)
                 finally:
                     if simsan.enabled:
                         simsan.die_op_end(array, addr, die_res, die_req, "program")

@@ -1,0 +1,46 @@
+"""Nemesis campaigns: scheduled fault injection with streaming analysis.
+
+The chaos layer the cluster work (PRs 4-5) calls for: a **fault
+catalog** (:mod:`repro.nemesis.faults`) of deterministic nemeses on the
+shared simulation kernel, a **campaign scheduler**
+(:mod:`repro.nemesis.campaign`) composing them over long simulated
+timelines, and a **streaming analyzer** (:mod:`repro.nemesis.analyzer`)
+consuming the typed event bus and asserting the paper's durability
+contract continuously — every quorum-acked append must be readable after
+any crash, with BA_SYNC ordering and torn-publish invariants delegated
+to simsan.  :mod:`repro.nemesis.legs` expresses campaigns as run-matrix
+legs so a whole scenario matrix fans out under ``repro nemesis --jobs``.
+
+See ``docs/nemesis.md`` for the model and the replay-bundle workflow.
+"""
+
+from repro.nemesis.analyzer import StreamingAnalyzer, Violation, parse_payload
+from repro.nemesis.campaign import (
+    CampaignContext,
+    CampaignSpec,
+    FaultSpec,
+    build_pool,
+    fault,
+    run_campaign,
+    write_bundle,
+)
+from repro.nemesis.faults import CATALOG, Fault
+from repro.nemesis.legs import CAMPAIGNS, campaign_leg, nemesis_matrix
+
+__all__ = [
+    "CAMPAIGNS",
+    "CATALOG",
+    "CampaignContext",
+    "CampaignSpec",
+    "Fault",
+    "FaultSpec",
+    "StreamingAnalyzer",
+    "Violation",
+    "build_pool",
+    "campaign_leg",
+    "fault",
+    "nemesis_matrix",
+    "parse_payload",
+    "run_campaign",
+    "write_bundle",
+]

@@ -1,0 +1,161 @@
+"""The campaign matrix: every nemesis scenario as a run-matrix leg.
+
+:data:`CAMPAIGNS` is the canned scenario registry — fault classes x
+victim roles x crash timings — each a frozen :class:`CampaignSpec`, so
+``repro nemesis`` fans the whole matrix out on the PR-5 run-matrix
+executor and the merged verdict is byte-identical across ``--jobs``.
+
+The warm legs at the bottom ride the executor's snapshot cache: one
+shared warm-up (a short replicated workload on a 4-node pool, streams
+closed, caches drained) is captured once via ``DevicePool.snapshot()``
+and forked into several campaigns, proving the pool-level snapshot is
+faithful the same way the BA sweep proves it for a single platform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.runner import Leg, WarmSpec, leg
+from repro.nemesis.campaign import CampaignSpec, fault, run_campaign
+
+_HERE = "repro.nemesis.legs"
+
+
+def _spec(name: str, seed: int, faults: tuple, **overrides) -> CampaignSpec:
+    return CampaignSpec(name=name, seed=seed, faults=faults, **overrides)
+
+
+#: name -> spec; seeds are fixed so every campaign is replayable by name.
+CAMPAIGNS: dict[str, CampaignSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- node power loss: both victim roles, early and late crashes --
+        _spec("power-loss-primary-early", 9001,
+              (fault("power_loss", 250.0, victim="primary:wal0"),)),
+        _spec("power-loss-primary-late", 9002,
+              (fault("power_loss", 1000.0, victim="primary:wal0"),)),
+        _spec("power-loss-replica-early", 9003,
+              (fault("power_loss", 250.0, victim="replica:wal0"),)),
+        _spec("power-loss-replica-late", 9004,
+              (fault("power_loss", 1000.0, victim="replica:wal0"),)),
+        # -- crash during failover: the staged-promotion adversary.  The
+        # second victim is "other:wal0" — resolved mid-promotion, that is
+        # the spare being promoted onto. --
+        _spec("failover-crash-early", 9005,
+              (fault("failover_crash", 300.0, victim="primary:wal0",
+                     second_victim="other:wal0", delay_us=30.0),)),
+        _spec("failover-crash-late", 9006,
+              (fault("failover_crash", 1000.0, victim="primary:wal0",
+                     second_victim="other:wal0", delay_us=60.0),)),
+        # -- interconnect faults --
+        _spec("partition-replica-early", 9007,
+              (fault("partition", 250.0, victim="replica:wal0",
+                     duration_us=400.0),)),
+        _spec("partition-primary-late", 9008,
+              (fault("partition", 900.0, victim="primary:wal0",
+                     duration_us=300.0),)),
+        _spec("degrade-fabric", 9009,
+              (fault("degrade", 200.0, factor=6.0, duration_us=800.0),),
+              slo=(("wal.ba.commit", 99, 0.005),
+                   ("cluster.net.send", 99, 0.002))),
+        # -- device-level pressure --
+        _spec("slow-die-primary", 9010,
+              (fault("slow_die", 200.0, victim="primary:wal0", die_index=0,
+                     factor=8.0, duration_us=700.0),)),
+        _spec("gc-storm-replica", 9011,
+              (fault("gc_storm", 150.0, victim="replica:wal0",
+                     band_pages=64, rewrites=10),)),
+        _spec("map-pressure-replica", 9012,
+              (fault("map_pressure", 300.0, victim="replica:wal0"),)),
+        # -- quorum loss: two sequential primary crashes on a 3-node pool
+        # leave no spare; availability dies, durability must not --
+        _spec("quorum-loss-double", 9013,
+              (fault("quorum_loss", 350.0,
+                     victims=("primary:wal0", "primary:wal0"),
+                     gap_us=80.0),),
+              devices=3, streams=1),
+        # -- composed: congestion, a slow die, then a crash on top --
+        _spec("combo-storm", 9014,
+              (fault("partition", 200.0, victim="replica:wal0",
+                     duration_us=250.0),
+               fault("slow_die", 400.0, victim="primary:wal0",
+                     die_index=1, factor=6.0, duration_us=500.0),
+               fault("power_loss", 800.0, victim="replica:wal0"),)),
+        # -- the golden fixture's canonical 3-node campaign --
+        _spec("golden-3node", 4242,
+              (fault("power_loss", 250.0, victim="replica:wal0"),
+               fault("partition", 700.0, victim="primary:wal1",
+                     duration_us=200.0),),
+              devices=3, duration_us=1200.0, drain_us=500.0),
+    )
+}
+
+
+def campaign_leg(campaign: str, bundle_dir: Optional[str] = None) -> dict:
+    """Plain leg: run one registered campaign from a cold pool."""
+    return run_campaign(CAMPAIGNS[campaign], bundle_dir=bundle_dir)
+
+
+# -- warm-pool legs ----------------------------------------------------------
+
+
+def build_campaign_pool(seed: int = 505, devices: int = 4):
+    from repro.cluster import DevicePool
+    from repro.core import BaParams
+    from repro.sim.units import KiB
+
+    return DevicePool(devices=devices, seed=seed,
+                      ba_params=BaParams(buffer_bytes=64 * KiB),
+                      area_pages=64)
+
+
+def warm_campaign_pool(pool, seed: int = 505, devices: int = 4) -> None:
+    """Warm a pool to a snapshot-able state: a short replicated workload,
+    streams closed (budget returned), caches drained, kernel quiescent."""
+    from repro.cluster.driver import run_replicated_logging
+
+    run_replicated_logging(pool, streams=2, clients_per_stream=1,
+                           records_per_client=4, payload_bytes=192,
+                           replicas=2, prefix="warm")
+    for name in list(pool.streams):
+        pool.engine.run_process(pool.close_stream(name))
+    for node in pool.nodes.values():
+        pool.engine.run_process(node.platform.device.drain())
+    pool.engine.run()
+
+
+def warm_campaign_leg(pool, campaign: str,
+                      bundle_dir: Optional[str] = None) -> dict:
+    """Warm leg: the campaign starts from the restored pool snapshot."""
+    return run_campaign(CAMPAIGNS[campaign], pool=pool,
+                        bundle_dir=bundle_dir)
+
+
+#: Campaigns that run on the shared warm pool (their specs must describe
+#: the same 4-device shape the warm spec builds).
+WARM_CAMPAIGNS = ("power-loss-replica-early", "partition-replica-early")
+
+_CAMPAIGN_WARM = WarmSpec(
+    build=f"{_HERE}:build_campaign_pool",
+    warm=f"{_HERE}:warm_campaign_pool",
+    kwargs=(("devices", 4), ("seed", 505)),
+)
+
+
+def nemesis_matrix(warm: bool = True,
+                   bundle_dir: Optional[str] = None) -> list[Leg]:
+    """Every registered campaign, plus the warm-pool variants."""
+    extra = {"bundle_dir": bundle_dir} if bundle_dir is not None else {}
+    legs = [
+        leg(f"nemesis:{name}", f"{_HERE}:campaign_leg", campaign=name,
+            **extra)
+        for name in sorted(CAMPAIGNS)
+    ]
+    if warm:
+        legs += [
+            leg(f"nemesis:warm:{name}", f"{_HERE}:warm_campaign_leg",
+                warm=_CAMPAIGN_WARM, campaign=name, **extra)
+            for name in WARM_CAMPAIGNS
+        ]
+    return legs

@@ -16,6 +16,8 @@ timing behavior unless a run opts in via :func:`tracing.enable` or the
 See ``docs/observability.md`` for span names and exporter formats.
 """
 
+from repro.obs import events
+from repro.obs.events import EventBus, SimEvent
 from repro.obs.histogram import DEFAULT_BOUNDS, HistogramSnapshot, LatencyHistogram
 from repro.obs.tracing import Tracer, activated, disable, enable, get_tracer, span
 from repro.obs.export import (
@@ -27,6 +29,9 @@ from repro.obs.export import (
 
 __all__ = [
     "DEFAULT_BOUNDS",
+    "EventBus",
+    "SimEvent",
+    "events",
     "HistogramSnapshot",
     "LatencyHistogram",
     "Tracer",

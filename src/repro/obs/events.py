@@ -1,0 +1,144 @@
+"""Typed simulation event bus: the nemesis analyzer's input stream.
+
+Where :mod:`repro.obs.tracing` aggregates *durations* into histograms,
+this module records *occurrences*: a fault was injected, a node crashed,
+a failover staged or promoted, a quorum commit acked.  Each occurrence is
+a frozen :class:`SimEvent` carrying the simulated time, a dotted ``kind``
+(``"cluster.commit.acked"``), and a JSON-safe payload.  Subscribers run
+synchronously at the emission site, which is what lets the streaming
+analyzer in :mod:`repro.nemesis.analyzer` assert invariants *at the
+simulated instant they must hold* instead of post-processing a log.
+
+The enablement contract is identical to tracing — a module-level
+``enabled`` flag every call site checks first::
+
+    from repro.obs import events
+    ...
+    if events.enabled:
+        events.emit("cluster.commit.acked", self.engine.now,
+                    stream=self.name, lsn=lsn)
+
+so benches and tier-1 tests that never opt in pay one boolean check per
+site and allocate nothing.  ``activated(bus)`` scopes enablement the same
+way ``tracing.activated(tracer)`` does.
+
+Subscribers must be *observers*: they may record and flag, but they must
+not touch the engine or raise — an exception thrown into an arbitrary
+emission site would surface as an unrelated process failure.  The
+analyzer therefore records violations and lets its driver fail the run
+at a checkpoint (see ``docs/nemesis.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, Iterator, Optional
+
+# The module-level enable flag every emission site checks.  Mutated only
+# via enable()/disable()/activated(); call sites read `events.enabled`.
+enabled: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class SimEvent:
+    """One typed occurrence on the simulated clock.
+
+    ``data`` is a tuple of sorted ``(key, value)`` pairs (not a dict) so
+    events stay frozen/hashable; values must be JSON-safe because event
+    logs ship inside replay bundles.
+    """
+
+    time: float
+    kind: str
+    data: tuple = ()
+
+    def get(self, key: str, default=None):
+        for item_key, value in self.data:
+            if item_key == key:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        payload = {"time": self.time, "kind": self.kind}
+        payload.update(dict(self.data))
+        return payload
+
+
+class EventBus:
+    """An append-only event log plus synchronous subscribers."""
+
+    def __init__(self) -> None:
+        self.log: list[SimEvent] = []
+        self._subscribers: list[Callable[[SimEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[SimEvent], None]) -> None:
+        """Register ``callback`` to run at every subsequent emission."""
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, now: float, **data) -> SimEvent:
+        event = SimEvent(time=now, kind=kind,
+                         data=tuple(sorted(data.items())))
+        self.log.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind, sorted by kind (JSON-safe summary)."""
+        tally: dict[str, int] = {}
+        for event in self.log:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_json(self) -> list[dict]:
+        """The full log as plain data (the replay-bundle payload)."""
+        return [event.to_dict() for event in self.log]
+
+
+_bus = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The bus instrumented call sites currently emit onto."""
+    return _bus
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Swap the active bus; returns the previous one."""
+    global _bus
+    previous, _bus = _bus, bus
+    return previous
+
+
+def enable(bus: Optional[EventBus] = None) -> EventBus:
+    """Turn event emission on (optionally onto a fresh bus)."""
+    global enabled
+    if bus is not None:
+        set_bus(bus)
+    enabled = True
+    return _bus
+
+
+def disable() -> None:
+    global enabled
+    enabled = False
+
+
+def emit(kind: str, now: float, **data) -> SimEvent:
+    return _bus.emit(kind, now, **data)
+
+
+@contextlib.contextmanager
+def activated(bus: Optional[EventBus] = None) -> Iterator[EventBus]:
+    """Scope: enable emission (onto ``bus`` or a fresh one), restore the
+    previous flag and bus on exit.  The way campaigns and tests opt in."""
+    global enabled
+    previous_flag = enabled
+    previous_bus = set_bus(bus if bus is not None else EventBus())
+    enabled = True
+    try:
+        yield _bus
+    finally:
+        enabled = previous_flag
+        set_bus(previous_bus)

@@ -167,8 +167,15 @@ class _Span:
         self._start = self.engine.now
         return self
 
-    def __exit__(self, *_exc) -> None:
-        _tracer.observe(self.name, self.engine.now - self._start)
+    def __exit__(self, exc_type, *_exc) -> None:
+        # A killed process (kernel purge, or garbage collection of an
+        # abandoned generator) unwinds through the span via GeneratorExit:
+        # the interval never completed, and by GC time the recording
+        # scope may be gone — observing then would write a garbage sample
+        # into whoever owns the tracer *now*.  Record only completed
+        # spans, and only while tracing is still on.
+        if exc_type is not GeneratorExit and enabled:
+            _tracer.observe(self.name, self.engine.now - self._start)
 
 
 class _NoopSpan:

@@ -141,6 +141,18 @@ class Platform:
         if self.engine.now > 0.0:
             raise RuntimeError(
                 "snapshot restore requires a freshly constructed platform")
+        self.restore_components(snap)
+        self.engine.run()
+        self.engine.restore_state(snap.engine)
+
+    def restore_components(self, snap: PlatformSnapshot) -> None:
+        """Step 2 of :meth:`restore`: adopt component state only, leaving
+        the engine dance (run / run / ``restore_state``) to the caller.
+
+        Exists for multi-platform topologies — ``DevicePool.restore``
+        restores every node's components between one pair of engine runs
+        on the *shared* kernel, then advances the clock exactly once.
+        """
         fingerprint = self._fingerprint()
         if fingerprint != snap.fingerprint:
             raise RuntimeError(
@@ -164,5 +176,3 @@ class Platform:
         self.power.outages = snap.outages
         for device, state in zip(self.power._devices, snap.devices):
             device.restore_state(state)
-        self.engine.run()
-        self.engine.restore_state(snap.engine)

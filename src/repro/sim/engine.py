@@ -358,6 +358,26 @@ class Engine:
     def all_of(self, events: list[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn()`` to run at absolute simulated time ``when``.
+
+        The fault-injection hook: nemeses use it to arm heal timers
+        (un-partition a link, restore a slowed die) at a fixed point on
+        the shared clock.  The callback runs inside the event loop, so it
+        must not block — spawn a process if it needs timed work.  Returns
+        the underlying event; like all scheduled work, the callback dies
+        with a :meth:`purge` (callers re-arm after a crash if the fault
+        they model outlives one).
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self.now})")
+        event = Event(self)
+        event._triggered = True
+        event.callbacks.append(lambda _event: fn())
+        self._schedule(event, delay=when - self.now)
+        return event
+
     def any_of(self, events: list[Event]) -> AnyOf:
         return AnyOf(self, events)
 

@@ -43,6 +43,7 @@ class _Half:
         self.entry: Optional[BaMappingEntry] = None
         self.stream_base = 0      # stream LSN of the segment's first byte
         self.ready: Optional[Event] = None  # fires when flushed + re-pinned
+        self.pinning: Optional[int] = None  # segment a pin is targeting
 
 
 class BaWAL(WriteAheadLog):
@@ -131,9 +132,12 @@ class BaWAL(WriteAheadLog):
         self._started = True
         return None
 
-    def _pin_half(self, half: _Half) -> Iterator[Event]:
-        segment = self._next_segment
-        self._next_segment += 1
+    def _pin_half(self, half: _Half,
+                  segment: Optional[int] = None) -> Iterator[Event]:
+        if segment is None:
+            segment = self._next_segment
+            self._next_segment += 1
+        half.pinning = segment
         half.stream_base = segment * self.segment_bytes
         lpn = self.start_lpn + (segment * self.segment_pages) % self.area_pages
         if segment * self.segment_pages >= self.area_pages:
@@ -144,6 +148,7 @@ class BaWAL(WriteAheadLog):
         half.entry = yield self.engine.process(
             self.api.ba_pin(half.entry_id, half.buffer_offset, lpn, self.segment_bytes)
         )
+        half.pinning = None
         return None
 
     # -- WriteAheadLog interface ----------------------------------------------------
@@ -226,7 +231,14 @@ class BaWAL(WriteAheadLog):
         # Skip the unusable tail: records never span segments.
         self._tail = old.stream_base + self.segment_bytes
         old.ready = self.engine.event()
-        self.engine.process(self._recycle_half(old), name="ba-wal-recycle")
+        # The recycle's target segment is assigned HERE, not when its pin
+        # runs: concurrent recycles finish in flush-latency order (a slow
+        # NAND die can invert it), and segments must land in spawn order
+        # or the halves come back swapped and misaligned with the tail.
+        old.pinning = self._next_segment
+        self._next_segment += 1
+        self.engine.process(self._recycle_half(old, old.pinning),
+                            name="ba-wal-recycle")
         if self.double_buffer:
             other = self._halves[1 - self._active]
             if other.ready is not None and not other.ready.processed:
@@ -247,13 +259,84 @@ class BaWAL(WriteAheadLog):
             )
         return None
 
-    def _recycle_half(self, half: _Half) -> Iterator[Event]:
+    def _recycle_half(self, half: _Half, segment: int) -> Iterator[Event]:
         yield self.engine.process(self.api.ba_flush(half.entry_id))
         self.stats.device_writes += 1
-        yield self.engine.process(self._pin_half(half))
+        yield self.engine.process(self._pin_half(half, segment=segment))
         ready, half.ready = half.ready, None
         if ready is not None:
             ready.succeed()
+        return None
+
+    # -- crash recovery of the host object -------------------------------------------
+
+    def crash_reset(self) -> None:
+        """Make this WAL usable again after a kernel purge killed its
+        in-flight work.
+
+        This is the *peer-crash* case: another node on a shared simulation
+        kernel lost power, and the global event purge took this host's
+        in-flight appends, commits, and recycles with it — but this host
+        kept power, DRAM, and its pinned entries.  Three kinds of damage
+        need repair: the insert lock (its holder died mid-yield and will
+        never release), a recycle that died mid-flight (finished
+        deterministically below — both its steps restart cleanly), and an
+        ``_active`` pointer a half-switch left on the sealed half.
+
+        Must be called from outside the kernel: repairs run through
+        ``engine.run_process``.
+        """
+        self._insert_lock.retire()
+        self._insert_lock = Resource(self.engine)
+        if not self._started:
+            return
+        for half in self._halves:
+            if half.ready is None and half.pinning is None:
+                continue
+            self.engine.run_process(self._repair_half(half))
+        # Re-seat the active pointer on the segment holding the tail: a
+        # switch that died waiting out the double-buffering stall had
+        # already bumped the tail into the other half.
+        for index, half in enumerate(self._halves):
+            if (half.stream_base <= self._tail
+                    < half.stream_base + self.segment_bytes):
+                self._active = index
+                break
+
+    def _repair_half(self, half: _Half) -> Iterator[Event]:
+        """Finish a recycle the purge interrupted.
+
+        The recycle's target segment was assigned when it was spawned
+        (``half.pinning``), and the mapping table is the ground truth for
+        how far it got: flushing a segment twice rewrites the same NAND
+        bytes (the buffer did not change), and a pin whose table entry
+        already exists at the target LPN only needs adopting
+        (``table.add`` runs before any data movement, so the entry's
+        presence proves the pin got that far).
+        """
+        table = self.device.mapping_table
+        segment = half.pinning
+        if segment is not None:
+            lpn = self.start_lpn + \
+                (segment * self.segment_pages) % self.area_pages
+            if half.entry_id in table:
+                entry = table.get(half.entry_id)
+                if entry.lba == lpn:
+                    half.entry = entry
+                    half.stream_base = segment * self.segment_bytes
+                else:
+                    # Still mapped to the sealed segment: the flush never
+                    # finished.  Redo it, then the pin.
+                    yield self.engine.process(
+                        self.api.ba_flush(half.entry_id))
+                    yield self.engine.process(
+                        self._pin_half(half, segment=segment))
+            else:
+                # Flushed (unmapped) but never repinned.
+                yield self.engine.process(
+                    self._pin_half(half, segment=segment))
+        half.pinning = None
+        half.ready = None
         return None
 
     # -- recovery --------------------------------------------------------------------

@@ -64,7 +64,8 @@ class BlockWAL(WriteAheadLog):
         self._commit_waiters: list[tuple[int, Event]] = []
         self._writer_signal = Store(engine)
         self._writer_kicked = False
-        engine.process(self._writer_loop(), name="block-wal-writer")
+        self._writer = engine.process(self._writer_loop(),
+                                      name="block-wal-writer")
 
     # -- WriteAheadLog interface ------------------------------------------------
 
@@ -134,6 +135,28 @@ class BlockWAL(WriteAheadLog):
         if tracing.enabled:
             tracing.observe("wal.block.commit", self.engine.now - _t0)
         return None
+
+    def crash_reset(self) -> None:
+        """Make this WAL usable again after a kernel purge killed its
+        in-flight work (a *peer* crashed on the shared kernel; this host
+        kept power and its DRAM page copies).
+
+        Locks whose holders died are replaced, commit waiters are dropped
+        (the committers died with the purge, and nothing they were waiting
+        on was acked), and the group-commit writer is respawned unless it
+        survived — a writer parked on an empty signal store outlives a
+        purge, one caught mid-flush does not.
+        """
+        self._insert_lock.retire()
+        self._insert_lock = Resource(self.engine)
+        self._inline_flush_lock.retire()
+        self._inline_flush_lock = Resource(self.engine)
+        self._commit_waiters = []
+        self._writer_kicked = False
+        if self._writer._waiting_on not in self._writer_signal._getters:
+            self._writer_signal = Store(self.engine)
+            self._writer = self.engine.process(self._writer_loop(),
+                                               name="block-wal-writer")
 
     def recover(self, start_lsn: int = 0) -> Iterator[Event]:
         """Process: scan the on-device log from ``start_lsn`` for the

@@ -1,0 +1,127 @@
+"""The streaming analyzer must catch what the campaigns prove absent.
+
+A green matrix only means the *implementation* holds the durability
+contract; these tests prove the *analyzer* would notice if it did not.
+The payload decoder and streaming checks get direct unit tests, and the
+acceptance gate at the bottom hand-injects a durability mutant — a
+``ReplicatedBaWAL.commit`` that acks instantly without syncing any leg —
+and requires a seeded campaign to go red with ``recovery.acked-lost``.
+"""
+
+import pytest
+
+from repro.cluster.replicated import ReplicatedBaWAL
+from repro.nemesis import CampaignSpec, fault, run_campaign
+from repro.nemesis.analyzer import StreamingAnalyzer, parse_payload
+from repro.obs import events
+from repro.obs.events import SimEvent
+
+
+# -- parse_payload -----------------------------------------------------------
+
+
+def test_parse_payload_round_trip():
+    payload = b"wal0:c3:r41:" + b"\0" * 20
+    assert parse_payload(payload) == ("wal0", 3, 41)
+
+
+@pytest.mark.parametrize("payload", [
+    b"",
+    b"wal0:c1:r2",                     # no padding section at all
+    b"wal0:x1:r2:" + b"\0" * 4,        # client stamp malformed
+    b"wal0:c1:y2:" + b"\0" * 4,        # seq stamp malformed
+    b"wal0:c1:rX:" + b"\0" * 4,        # seq not an integer
+    b"wal0:c1:r2:junk\0\0",            # dirty padding = torn write
+    b"\xff\xfe:c1:r2:" + b"\0" * 4,    # stream name not ascii
+])
+def test_parse_payload_rejects_torn_and_foreign(payload):
+    assert parse_payload(payload) is None
+
+
+# -- streaming checks on synthetic events ------------------------------------
+
+
+def _event(kind, time=1.0, **data):
+    return SimEvent(time=time, kind=kind, data=tuple(sorted(data.items())))
+
+
+def test_streaming_flags_ack_below_quorum():
+    analyzer = StreamingAnalyzer()
+    analyzer.on_event(_event("cluster.commit.acked", stream="wal0",
+                             lsn=128, quorum=2, up_legs=2))
+    assert analyzer.ok()
+    analyzer.on_event(_event("cluster.commit.acked", stream="wal0",
+                             lsn=256, quorum=2, up_legs=1))
+    assert not analyzer.ok()
+    assert analyzer.violations[0].invariant == "commit.below-quorum"
+    assert analyzer.commits_acked == 2
+
+
+def test_streaming_flags_promotion_onto_downed_node():
+    analyzer = StreamingAnalyzer()
+    analyzer.on_event(_event("cluster.node.crashed", victim="node1"))
+    analyzer.on_event(_event("cluster.failover.promoted", stream="wal0",
+                             nodes=("node2", "node3")))
+    assert analyzer.ok()
+    analyzer.on_event(_event("cluster.failover.promoted", stream="wal0",
+                             nodes=("node1", "node2")))
+    assert [v.invariant for v in analyzer.violations] == \
+        ["failover.promoted-to-downed-node"]
+    assert analyzer.failovers == 2
+
+
+def test_streaming_ignores_unknown_event_kinds():
+    analyzer = StreamingAnalyzer()
+    analyzer.on_event(_event("wal.segment.recycled", half=1))
+    assert analyzer.ok()
+
+
+# -- the durability mutant ---------------------------------------------------
+
+# Fabric degraded hard for the whole run, so replica appends sit in
+# flight; the primary dies mid-window, taking every unapplied append
+# with it.  An honest commit would have blocked on the replica ack; the
+# mutant acks anyway, and the analyzer must call the loss.
+_MUTANT_SPEC = CampaignSpec(
+    name="mutant-instant-ack",
+    seed=31337,
+    duration_us=1400.0,
+    drain_us=500.0,
+    faults=(
+        fault("degrade", 50.0, factor=40.0, duration_us=1300.0),
+        fault("power_loss", 700.0, victim="primary:wal0"),
+    ),
+)
+
+
+def _instant_ack_commit(self, lsn):
+    """The mutant: claim quorum durability without syncing any leg."""
+    self.stats.commits += 1
+    if lsn > self._quorum_durable:
+        self._quorum_durable = lsn
+        if events.enabled:
+            events.emit("cluster.commit.acked", self.engine.now,
+                        stream=self.name, lsn=lsn, quorum=self.quorum,
+                        up_legs=sum(1 for leg in self.legs()
+                                    if leg.node.up))
+    return None
+    yield  # unreachable: keeps the mutant a process like the original
+
+
+def test_analyzer_catches_instant_ack_mutant(monkeypatch):
+    """ISSUE 6 acceptance: a seeded campaign catches a hand-injected
+    durability mutant."""
+    monkeypatch.setattr(ReplicatedBaWAL, "commit", _instant_ack_commit)
+    result = run_campaign(_MUTANT_SPEC)
+    assert not result["ok"]
+    invariants = [v["invariant"] for v in result["analysis"]["violations"]]
+    assert "recovery.acked-lost" in invariants, invariants
+    assert result["recovery"]["wal0"]["missing"] > 0
+
+
+def test_unmutated_twin_campaign_passes():
+    """The same spec with the honest commit is green — the red verdict
+    above is the mutant's doing, not the scenario's."""
+    result = run_campaign(_MUTANT_SPEC)
+    assert result["ok"], result["analysis"]["violations"]
+    assert result["recovery"]["wal0"]["missing"] == 0

@@ -1,0 +1,156 @@
+"""The nemesis campaign matrix: every fault class x victim role x timing.
+
+Three layers: the registered campaign matrix itself (every fault class
+and victim role, early and late crash timings, all deterministic seeds),
+a parametrized crash-time x fault-class sweep built on the fly, and the
+run-matrix determinism gate — the same legs (warm-pool legs included)
+must merge to byte-identical results at ``jobs=1`` and ``jobs=2``,
+snapshot reuse on or off.
+"""
+
+import pytest
+
+from repro.bench.runner import run_legs
+from repro.nemesis import CAMPAIGNS, fault, run_campaign
+from repro.nemesis.campaign import CampaignSpec
+from repro.nemesis.legs import WARM_CAMPAIGNS, nemesis_matrix
+
+
+def _assert_clean(result: dict) -> None:
+    assert result["ok"], result["analysis"]["violations"]
+    assert result["sanitizer"]["violations"] == 0
+    for name, info in result["recovery"].items():
+        if info["checked"]:
+            assert info["missing"] == 0, f"stream {name} lost acked records"
+            assert info["torn"] == 0, f"stream {name} recovered torn records"
+
+
+# -- the registered matrix ---------------------------------------------------
+
+
+def test_matrix_covers_fault_classes_and_victim_roles():
+    """ISSUE 6 acceptance: a 12+-scenario matrix spanning the catalog."""
+    assert len(CAMPAIGNS) >= 12
+    kinds = {spec.kind for c in CAMPAIGNS.values() for spec in c.faults}
+    assert kinds == {"power_loss", "failover_crash", "partition", "degrade",
+                     "slow_die", "gc_storm", "map_pressure", "quorum_loss"}
+    victims = {
+        dict(spec.kwargs).get("victim", "")
+        for c in CAMPAIGNS.values() for spec in c.faults
+    }
+    assert any(v.startswith("primary:") for v in victims)
+    assert any(v.startswith("replica:") for v in victims)
+    # Early and late crash timings for the same fault class + victim role.
+    times = sorted(spec.faults[0].at_us for name, spec in CAMPAIGNS.items()
+                   if name.startswith("power-loss-primary"))
+    assert times[0] < 500.0 < times[-1]
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_registered_campaign_passes(name):
+    result = run_campaign(CAMPAIGNS[name])
+    _assert_clean(result)
+    assert sum(result["records_acked"].values()) > 0
+
+
+def test_campaigns_are_deterministic():
+    name = "failover-crash-early"
+    first = run_campaign(CAMPAIGNS[name])
+    second = run_campaign(CAMPAIGNS[name])
+    assert first == second
+
+
+def test_crash_respawns_keep_healthy_streams_moving():
+    """Regression: a node crash purges the *shared* kernel, killing
+    replica pipelines and stranding WAL locks of streams the crash never
+    touched.  After the respawn/crash_reset dance, the healthy stream
+    must keep acking — before the fix it froze at its pre-crash count."""
+    result = run_campaign(CAMPAIGNS["power-loss-primary-early"])
+    _assert_clean(result)
+    acked = result["records_acked"]
+    assert acked["wal1"] >= acked["wal0"] // 2, acked
+    assert result["respawns"] > 0
+
+
+def test_quorum_loss_costs_availability_not_durability():
+    """Two sequential primary crashes on a 3-node pool leave no spare:
+    the stream must become unavailable (failover impossible, clients
+    dropped), but every record acked before the collapse must still be
+    readable from the surviving replica."""
+    result = run_campaign(CAMPAIGNS["quorum-loss-double"])
+    _assert_clean(result)
+    assert result["analysis"]["failovers_impossible"] >= 1
+    assert len(result["analysis"]["crashes"]) == 2
+    info = result["recovery"]["wal0"]
+    assert info["checked"] and info["recovered"] == info["acked"]
+
+
+def test_map_pressure_forces_typed_fallback():
+    result = run_campaign(CAMPAIGNS["map-pressure-replica"])
+    _assert_clean(result)
+    assert result["ba_fallbacks"] >= 1
+
+
+# -- crash-time x fault-class sweep ------------------------------------------
+
+SWEEP_FAULTS = ("power_loss", "partition", "slow_die")
+SWEEP_ROLES = ("primary", "replica")
+SWEEP_TIMES_US = (180.0, 650.0, 1150.0)
+
+
+@pytest.mark.parametrize("at_us", SWEEP_TIMES_US)
+@pytest.mark.parametrize("role", SWEEP_ROLES)
+@pytest.mark.parametrize("kind", SWEEP_FAULTS)
+def test_fault_by_role_by_time_sweep(kind, role, at_us):
+    """Every (fault class, victim role, injection time) cell holds the
+    durability contract.  The seed derives from the cell so each point
+    is individually replayable."""
+    extra = {}
+    if kind == "partition":
+        extra["duration_us"] = 300.0
+    if kind == "slow_die":
+        extra.update(die_index=0, factor=6.0, duration_us=400.0)
+    seed = (7000 + SWEEP_FAULTS.index(kind) * 100
+            + SWEEP_ROLES.index(role) * 10
+            + SWEEP_TIMES_US.index(at_us))
+    spec = CampaignSpec(
+        name=f"sweep-{kind}-{role}-{at_us:g}",
+        seed=seed,
+        duration_us=1600.0,
+        drain_us=500.0,
+        faults=(fault(kind, at_us, victim=f"{role}:wal0", **extra),),
+    )
+    result = run_campaign(spec)
+    _assert_clean(result)
+    assert sum(result["records_acked"].values()) > 0
+    if kind == "power_loss":
+        assert result["analysis"]["crashes"], "crash fault never landed"
+        assert result["analysis"]["failovers"] >= 1
+
+
+# -- run-matrix determinism --------------------------------------------------
+
+
+def test_matrix_is_byte_identical_across_jobs_and_snapshot_reuse():
+    """The determinism gate for the full nemesis matrix, warm legs
+    included: serial, parallel, and no-snapshot-reuse runs must merge to
+    the same canonical bytes."""
+    legs = nemesis_matrix()
+    assert {f"nemesis:warm:{name}" for name in WARM_CAMPAIGNS} <= {
+        leg.leg_id for leg in legs
+    }
+    serial = run_legs(legs, jobs=1, reuse_snapshots=True)
+    parallel = run_legs(legs, jobs=2, reuse_snapshots=True)
+    rewarmed = run_legs(legs, jobs=1, reuse_snapshots=False)
+    assert serial.canonical_results() == parallel.canonical_results()
+    assert serial.canonical_results() == rewarmed.canonical_results()
+    assert serial.cache["hits"] >= 1  # the warm legs shared one snapshot
+
+
+def test_warm_pool_campaign_matches_spec_shape():
+    """Warm campaigns must describe the same pool the warm spec builds,
+    or the snapshot would silently run a different scenario."""
+    for name in WARM_CAMPAIGNS:
+        spec = CAMPAIGNS[name]
+        assert spec.devices == 4
+        assert spec.streams == 2

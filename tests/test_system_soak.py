@@ -1,13 +1,21 @@
-"""Whole-system soak: three engines share one 2B-SSD through a crash.
+"""Whole-system soak: engines share 2B-SSDs through scheduled faults.
 
-The relational engine, the LSM store, and the Redis-like store each run
-their own BA-WAL on the *same* device — disjoint mapping entries, disjoint
-BA-buffer slices, disjoint log areas — while a filesystem occupies the
-block path.  Mid-workload the power fails.  After recovery, every engine
-must hold exactly its acknowledged state.
+Two layers of soak.  The single-device story: the relational engine, the
+LSM store, and the Redis-like store each run their own BA-WAL on the
+*same* device — disjoint mapping entries, disjoint BA-buffer slices,
+disjoint log areas — while a filesystem occupies the block path.
+Mid-workload the power fails.  After recovery, every engine must hold
+exactly its acknowledged state.
 
-This is the closest thing to the paper's deployment story: one 2B-SSD
-serving multiple latency-critical logs at once.
+The pool-level story drives the nemesis campaign scheduler
+(:mod:`repro.nemesis`): a composed fault storm — congestion, two node
+crashes, a GC storm, a partition, a slow die — over a long simulated
+timeline on a replicated device pool, with the streaming analyzer
+asserting the durability invariants continuously instead of a single
+end-of-run check.
+
+This is the closest thing to the paper's deployment story: 2B-SSDs
+serving multiple latency-critical logs at once, through faults.
 """
 
 import pytest
@@ -178,3 +186,44 @@ def test_three_engines_to_completion_without_crash():
     assert engine.run_process(check()) == bytes([59])
     # All six mapping entries are live, one pair per WAL.
     assert len(platform.device.mapping_table) == 5  # memkv single-buffer: 1
+
+
+def test_nemesis_soak_campaign():
+    """A long composed campaign through the nemesis scheduler: fabric
+    degradation, two node crashes (with failovers), a GC storm, a
+    partition, and a slow die, with the streaming analyzer checking
+    durability the whole way."""
+    from repro.nemesis import fault, run_campaign
+    from repro.nemesis.campaign import CampaignSpec
+
+    spec = CampaignSpec(
+        name="soak-storm",
+        seed=777,
+        devices=4,
+        streams=2,
+        clients_per_stream=2,
+        duration_us=6000.0,
+        drain_us=1000.0,
+        faults=(
+            fault("degrade", 300.0, factor=4.0, duration_us=1500.0),
+            fault("power_loss", 900.0, victim="replica:wal0"),
+            fault("gc_storm", 1500.0, victim="primary:wal1",
+                  band_pages=64, rewrites=8),
+            fault("partition", 2500.0, victim="primary:wal0",
+                  duration_us=500.0),
+            fault("power_loss", 3600.0, victim="replica:wal1"),
+            fault("slow_die", 4200.0, victim="primary:wal0",
+                  die_index=0, factor=6.0, duration_us=800.0),
+        ),
+    )
+    result = run_campaign(spec)
+    assert result["ok"], result["analysis"]["violations"]
+    assert len(result["analysis"]["crashes"]) == 2
+    assert result["analysis"]["failovers"] >= 2
+    assert sum(result["records_acked"].values()) > 500
+    for name, info in result["recovery"].items():
+        assert info["checked"], f"stream {name} had no surviving leg"
+        assert info["missing"] == 0
+        assert info["torn"] == 0
+    assert result["sanitizer"]["violations"] == 0
+    assert result["sanitizer"]["checks"] > 0
