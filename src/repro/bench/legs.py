@@ -104,6 +104,12 @@ def fig10_leg(txns: int = 400, clients: int = 4, seed: int = 13,
                               node_count=node_count))
 
 
+def compaction_leg(ops: int = 1400, keys: int = 220, seed: int = 21) -> dict:
+    from repro.bench.experiments import run_compaction_throughput
+
+    return _jsonify(run_compaction_throughput(ops=ops, keys=keys, seed=seed))
+
+
 # -- ablations ---------------------------------------------------------------
 
 
@@ -287,6 +293,7 @@ def full_matrix() -> list[Leg]:
             commits=500, record_bytes=100),
         leg("ablation:waf", f"{_HERE}:waf_ablation_leg",
             commits=400, record_bytes=100),
+        leg("compaction", f"{_HERE}:compaction_leg", ops=1400, keys=220, seed=21),
         leg("cluster:2dev", f"{_HERE}:cluster_leg", devices=2, seed=17),
         leg("golden:ba_datapath", f"{_HERE}:golden_leg", name="ba_datapath"),
         leg("golden:block_gc", f"{_HERE}:golden_leg", name="block_gc"),
@@ -317,4 +324,9 @@ def golden_matrix() -> list[Leg]:
             lba=lba, npages=npages, entry_id=1)
         for lba, npages in ((0, 4), (32, 16))
     )
+    # The die-parallel compaction leg rides in the gate too (same
+    # definition as the perf matrix), so CI proves its output identical
+    # across worker counts on every push.
+    legs.append(leg("compaction", f"{_HERE}:compaction_leg",
+                    ops=1400, keys=220, seed=21))
     return legs

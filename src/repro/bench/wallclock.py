@@ -50,7 +50,7 @@ BASELINE = {
 #: lower combined fig7+fig8 wall-clock (ISSUE 2); >= 3x aggregate cluster
 #: append throughput from 1 -> 4 devices at fixed client load (ISSUE 4).
 TARGETS = {
-    "microbench_speedup_min": 1.4,
+    "microbench_speedup_min": 2.0,
     "figs_combined_reduction_min": 0.25,
     "cluster_scaling_min": 3.0,
     "runner_matrix_speedup_min": 2.0,
@@ -59,9 +59,15 @@ TARGETS = {
     # fig8 (200x the baseline runtime), so a fig7 regression can hide
     # behind the aggregate pass.  Each leg also has to clear its own
     # floor, set just below the currently measured ratio so any further
-    # slide fails the harness on that leg by name.
-    "fig7_speedup_min": 0.12,
+    # slide fails the harness on that leg by name.  fig7's floor is
+    # baseline x1.5 or better (ISSUE 7's fix of the recorded regression).
+    "fig7_speedup_min": 0.67,
     "fig8_speedup_min": 3.0,
+    # Simulated compacted-SST throughput of the die-parallel LSM
+    # compaction path (deterministic, machine-independent): the batched
+    # single-barrier storage writes measure ~704 MB/s vs ~479 MB/s for
+    # per-table write+fsync; the floor keeps most of that win.
+    "compaction_mb_per_sec_min": 650.0,
 }
 
 #: The fixed client load the cluster-scaling section applies to every
@@ -289,6 +295,16 @@ def run_harness(skip_figs: bool = False, jobs: int = 4,
             for fig in ("fig7", "fig8")
         ]
         passed = passed and all(gate["ok"] for gate in results["leg_gates"])
+        compaction = ex.run_compaction_throughput()
+        results["compaction"] = compaction
+        results["leg_gates"].append({
+            "leg": "compaction",
+            "observed": compaction["mb_per_sec"],
+            "min": TARGETS["compaction_mb_per_sec_min"],
+            "ok": (compaction["mb_per_sec"]
+                   >= TARGETS["compaction_mb_per_sec_min"]),
+        })
+        passed = passed and results["leg_gates"][-1]["ok"]
         runner = run_runner_section(jobs=jobs, snapshot_cache=snapshot_cache)
         results["runner"] = runner
         passed = passed and (
@@ -389,10 +405,17 @@ def format_report(payload: dict) -> str:
         lines.append(
             f"combined   : {combined['seconds']:>9.3f} s wall  "
             f"({combined['reduction_fraction'] * 100:.1f}% below baseline)")
-    for gate in payload["results"].get("leg_gates", ()):
+    compaction = payload["results"].get("compaction")
+    if compaction:
         lines.append(
-            f"gate       : {gate['leg']} {gate['observed']:.3f}x vs "
-            f"{gate['min']:.2f}x floor "
+            f"compaction : {compaction['mb_per_sec']:>9.1f} MB/s simulated  "
+            f"({compaction['compactions']} compactions, "
+            f"{compaction['filter_skips']} filter skips)")
+    for gate in payload["results"].get("leg_gates", ()):
+        unit = " MB/s" if gate["leg"] == "compaction" else "x"
+        lines.append(
+            f"gate       : {gate['leg']} {gate['observed']:.3f}{unit} vs "
+            f"{gate['min']:.2f}{unit} floor "
             f"({'ok' if gate['ok'] else 'FAIL'})")
     runner = payload["results"].get("runner")
     if runner:

@@ -280,14 +280,63 @@ def _cmd_nemesis(args) -> int:
     return 1 if failed else 0
 
 
+def _profile_leg(leg_id: str, top: int) -> int:
+    """Run one matrix leg under cProfile; print the top cumulative entries.
+
+    Warm legs re-simulate their warm-up outside the profile, so the
+    printout shows only the measured leg body — the part a wall-clock
+    regression lives in.
+    """
+    import cProfile
+    import pstats
+
+    from repro.bench import legs as legs_module
+    from repro.bench.runner import resolve
+
+    matrix = {entry.leg_id: entry for entry in legs_module.full_matrix()}
+    for entry in legs_module.golden_matrix():
+        matrix.setdefault(entry.leg_id, entry)
+    selected = matrix.get(leg_id)
+    if selected is None:
+        print(f"unknown leg {leg_id!r}; available legs:")
+        for name in sorted(matrix):
+            print(f"  {name}")
+        return 2
+    fn = resolve(selected.fn)
+    kwargs = dict(selected.kwargs)
+    profiler = cProfile.Profile()
+    if selected.warm is not None:
+        build = resolve(selected.warm.build)
+        warm = resolve(selected.warm.warm)
+        warm_kwargs = selected.warm.kwargs_dict()
+        platform = build(**warm_kwargs)
+        warm(platform, **warm_kwargs)
+        profiler.enable()
+        fn(platform, **kwargs)
+        profiler.disable()
+    else:
+        profiler.enable()
+        fn(**kwargs)
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def _cmd_perf(args) -> int:
     """Measure simulator wall-clock performance; write BENCH_wallclock.json.
 
     Exits non-zero when any acceptance target is missed (``pass: false``
     in the payload), so CI lanes can gate on the perf harness directly.
+    With ``--profile LEG`` it instead runs that single matrix leg under
+    cProfile and prints the top ``--profile-top`` cumulative entries —
+    the standing replacement for the ad-hoc scripts each wall-clock
+    regression hunt used to start with.
     """
     from repro.bench import wallclock
 
+    if args.profile:
+        return _profile_leg(args.profile, args.profile_top)
     payload = wallclock.write_report(args.output, skip_figs=args.skip_figs,
                                      jobs=args.jobs,
                                      snapshot_cache=args.snapshot_cache)
@@ -384,6 +433,14 @@ def main(argv: list[str] | None = None) -> int:
             cmd.add_argument("--snapshot-cache", metavar="DIR", default=None,
                              help="persist warm-state snapshots under DIR "
                                   "(reused across invocations)")
+            cmd.add_argument("--profile", metavar="LEG", default=None,
+                             help="run one matrix leg under cProfile and "
+                                  "print the hottest entries instead of "
+                                  "the harness")
+            cmd.add_argument("--profile-top", metavar="N", type=int,
+                             default=25,
+                             help="rows to print with --profile "
+                                  "(default 25)")
         if name == "cluster":
             cmd.add_argument("--devices", type=int, default=4,
                              help="pool size (default 4)")

@@ -29,19 +29,38 @@ class BloomFilter:
             for position in self._positions(key):
                 self._bitmap[position // 8] |= 1 << (position % 8)
 
-    def _positions(self, key: str) -> Iterable[int]:
+    @staticmethod
+    def hash_key(key: str) -> tuple[int, int]:
+        """The two base hashes for ``key``, independent of filter geometry.
+
+        Probing many filters with one key (the compaction merge, the L0
+        scan in a point lookup) hashes once and reuses the pair via
+        :meth:`might_contain_hashed` — the digest is the expensive part,
+        the per-filter position math is cheap.
+        """
         digest = hashlib.blake2b(key.encode(), digest_size=16).digest()
-        h1 = int.from_bytes(digest[:8], "little")
-        h2 = int.from_bytes(digest[8:], "little") | 1
+        return (int.from_bytes(digest[:8], "little"),
+                int.from_bytes(digest[8:], "little") | 1)
+
+    def _positions(self, key: str) -> Iterable[int]:
+        h1, h2 = self.hash_key(key)
         for i in range(self.hashes):
             yield (h1 + i * h2) % self.bits
 
     def might_contain(self, key: str) -> bool:
         """False means definitely absent; True means probably present."""
-        return all(
-            self._bitmap[position // 8] & (1 << (position % 8))
-            for position in self._positions(key)
-        )
+        h1, h2 = self.hash_key(key)
+        return self.might_contain_hashed(h1, h2)
+
+    def might_contain_hashed(self, h1: int, h2: int) -> bool:
+        """Membership test from a precomputed :meth:`hash_key` pair."""
+        bits = self.bits
+        bitmap = self._bitmap
+        for i in range(self.hashes):
+            position = (h1 + i * h2) % bits
+            if not bitmap[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
 
     @property
     def size_bytes(self) -> int:

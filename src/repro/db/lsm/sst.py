@@ -38,6 +38,27 @@ class SSTable:
             raise ValueError("SSTable entries must have unique keys")
         if not pairs:
             raise ValueError("SSTable must contain at least one entry")
+        self._init(keys, [value for _key, value in pairs], file_id)
+
+    @classmethod
+    def from_sorted(cls, pairs: list[tuple[str, Optional[bytes]]],
+                    file_id: Optional[int] = None) -> "SSTable":
+        """Trusted constructor for merge/split output.
+
+        Skips the sortedness/uniqueness validation (O(n log n) on every
+        compaction chunk) — the caller guarantees ``pairs`` is sorted by
+        key with no duplicates, which merge and split outputs are by
+        construction.
+        """
+        if not pairs:
+            raise ValueError("SSTable must contain at least one entry")
+        table = cls.__new__(cls)
+        table._init([key for key, _value in pairs],
+                    [value for _key, value in pairs], file_id)
+        return table
+
+    def _init(self, keys: list[str], values: list[Optional[bytes]],
+              file_id: Optional[int]) -> None:
         if file_id is None:
             SSTable._COUNTER += 1
             file_id = SSTable._COUNTER
@@ -45,8 +66,18 @@ class SSTable:
             SSTable._COUNTER = max(SSTable._COUNTER, file_id)
         self.file_id = file_id
         self._keys = keys
-        self._values = [value for _key, value in pairs]
-        self.filter = BloomFilter(keys)
+        self._values = values
+        # The bloom filter hashes every key (blake2b per key); build it on
+        # first probe instead of at construction — compaction inputs and
+        # decoded recovery tables are often replaced before being probed.
+        self._filter: Optional[BloomFilter] = None
+
+    @property
+    def filter(self) -> BloomFilter:
+        built = self._filter
+        if built is None:
+            built = self._filter = BloomFilter(self._keys)
+        return built
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -124,17 +155,52 @@ class SSTable:
 
 
 def merge_tables(tables: list[SSTable], drop_tombstones: bool,
-                 file_id: Optional[int] = None) -> Optional[SSTable]:
+                 file_id: Optional[int] = None,
+                 stats: Optional[dict] = None) -> Optional[SSTable]:
     """K-way merge, newest table first (index 0 wins on duplicate keys).
+
+    The merge is bloom-filter guided: an entry surfacing from an older
+    run first probes the *newer* runs' filters — a miss in every one
+    proves no newer version shadows it, so the entry is emitted without
+    any membership check against the merged set (in an on-disk LSM this
+    is the probe that would cost index I/O; RocksDB's compaction reads
+    filters for exactly this reason).  Hashing happens once per key and
+    is reused across every filter via :meth:`BloomFilter.hash_key`.
+
+    ``stats`` (optional dict) receives ``filter_skips`` — entries proven
+    unshadowed purely by filters — and ``filter_probes``.
 
     Returns None when everything merged away (all tombstones dropped).
     """
     merged: dict[str, Optional[bytes]] = {}
-    for table in reversed(tables):  # oldest first; newer overwrite
-        for key, value in table.items():
-            merged[key] = value
+    filters: list = []  # filters of the (newer) tables already merged
+    skips = 0
+    probes = 0
+    hash_key = BloomFilter.hash_key
+    last = len(tables) - 1
+    for index, table in enumerate(tables):  # newest first
+        if not filters:
+            merged.update(zip(table._keys, table._values))
+        else:
+            for key, value in zip(table._keys, table._values):
+                h1, h2 = hash_key(key)
+                probes += 1
+                for newer in filters:
+                    if newer.might_contain_hashed(h1, h2):
+                        # A newer run may hold this key: exact check.
+                        if key not in merged:
+                            merged[key] = value
+                        break
+                else:
+                    skips += 1
+                    merged[key] = value
+        if index < last:  # the oldest run's filter is never probed
+            filters.append(table.filter)
+    if stats is not None:
+        stats["filter_skips"] = stats.get("filter_skips", 0) + skips
+        stats["filter_probes"] = stats.get("filter_probes", 0) + probes
     if drop_tombstones:
         merged = {k: v for k, v in merged.items() if v is not None}
     if not merged:
         return None
-    return SSTable(sorted(merged.items()), file_id=file_id)
+    return SSTable.from_sorted(sorted(merged.items()), file_id=file_id)

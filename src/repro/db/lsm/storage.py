@@ -39,12 +39,29 @@ class MemoryTableStorage:
         self._blobs[file_id] = bytes(blob)
         return None
 
+    def write_tables(self, blobs: list[tuple[int, bytes]]) -> Iterator[Event]:
+        """Process: store several tables concurrently (copies overlap)."""
+        procs = [self.engine.process(self.write_table(file_id, blob))
+                 for file_id, blob in blobs]
+        if procs:
+            yield self.engine.all_of(procs)
+        return None
+
     def read_table(self, file_id: int) -> Iterator[Event]:
         if file_id not in self._blobs:
             raise StorageError(f"no table file {file_id}")
         blob = self._blobs[file_id]
         yield self.engine.timeout(len(blob) / 10e9)
         return blob
+
+    def read_tables(self, file_ids: list[int]) -> Iterator[Event]:
+        """Process: fetch several tables concurrently; blobs in call order."""
+        procs = [self.engine.process(self.read_table(file_id))
+                 for file_id in file_ids]
+        if not procs:
+            return []
+        blobs = yield self.engine.all_of(procs)
+        return blobs
 
     def delete_table(self, file_id: int) -> None:
         self._blobs.pop(file_id, None)
@@ -110,6 +127,31 @@ class DeviceTableStorage:
         self._extents[file_id] = (lpn, npages)
         return None
 
+    def write_tables(self, blobs: list[tuple[int, bytes]]) -> Iterator[Event]:
+        """Process: write several tables with a single flush barrier.
+
+        Extents are allocated up front (deterministic first-fit order),
+        every page write is issued immediately — the device destages them
+        through the shared NAND program batch, so the pages land across
+        all dies in parallel — and one ``fsync`` covers the whole group.
+        Compaction output cost becomes max-over-dies instead of
+        sum-over-tables.  Crash safety is unchanged: the manifest naming
+        these extents is only written after the barrier, so a crash
+        mid-group leaves unreferenced pages, never a torn table.
+        """
+        extents = []
+        for file_id, blob in blobs:
+            npages = -(-len(blob) // self.page_size)
+            extents.append((file_id, self._allocate(npages), npages, blob))
+        procs = [self.engine.process(self.device.write(lpn, blob))
+                 for _file_id, lpn, _npages, blob in extents]
+        if procs:
+            yield self.engine.all_of(procs)
+            yield self.engine.process(self.device.fsync())
+        for file_id, lpn, npages, _blob in extents:
+            self._extents[file_id] = (lpn, npages)
+        return None
+
     def read_table(self, file_id: int) -> Iterator[Event]:
         if file_id not in self._extents:
             raise StorageError(f"no table file {file_id}")
@@ -118,6 +160,26 @@ class DeviceTableStorage:
             self.device.read(lpn, npages * self.page_size)
         )
         return blob
+
+    def read_tables(self, file_ids: list[int]) -> Iterator[Event]:
+        """Process: read several tables concurrently; blobs in call order.
+
+        Each read is issued as its own process so the per-table device
+        reads (and, on a cold cache, their NAND ``read_batch`` fills)
+        overlap across dies instead of serializing — the recovery path's
+        analogue of :meth:`write_tables`.
+        """
+        procs = []
+        for file_id in file_ids:
+            if file_id not in self._extents:
+                raise StorageError(f"no table file {file_id}")
+            lpn, npages = self._extents[file_id]
+            procs.append(self.engine.process(
+                self.device.read(lpn, npages * self.page_size)))
+        if not procs:
+            return []
+        blobs = yield self.engine.all_of(procs)
+        return blobs
 
     def delete_table(self, file_id: int) -> None:
         extent = self._extents.pop(file_id, None)

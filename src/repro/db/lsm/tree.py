@@ -16,6 +16,7 @@ import struct
 from typing import Iterator, Optional
 
 from repro.db.common import EngineStats
+from repro.db.lsm.bloom import BloomFilter
 from repro.db.lsm.skiplist import SkipList
 from repro.db.lsm.sst import SSTable, merge_tables
 from repro.sim import Engine, Resource, RngStreams
@@ -78,6 +79,9 @@ class LSMTree:
         self.compaction_count = 0
         self.write_stalls = 0
         self.filter_skips = 0
+        self.compaction_filter_skips = 0
+        self.compaction_bytes = 0
+        self.compaction_seconds = 0.0
 
     # -- write path -------------------------------------------------------------
 
@@ -153,6 +157,7 @@ class LSMTree:
         """
         lock = self._compaction_lock.request()
         yield lock
+        started = self.engine.now
         try:
             if len(self._l0) < self.l0_compaction_trigger:
                 return None
@@ -162,12 +167,18 @@ class LSMTree:
             selected = [table for table in self._l1
                         if table.min_key <= hi and lo <= table.max_key]
             inputs = list(reversed(l0_inputs)) + selected  # newest first
-            merged = merge_tables(inputs, drop_tombstones=True)
+            merge_stats: dict = {}
+            merged = merge_tables(inputs, drop_tombstones=True,
+                                  stats=merge_stats)
+            self.compaction_filter_skips += merge_stats.get("filter_skips", 0)
             outputs = self._split_run(merged) if merged is not None else []
-            for table in outputs:
-                yield self.engine.process(
-                    self.storage.write_table(table.file_id, table.encode())
-                )
+            # One batched write for the whole output run: the storage
+            # layer issues every table concurrently (die-parallel destage
+            # through the NAND program batch) behind a single flush
+            # barrier, instead of a write+fsync round-trip per table.
+            blobs = [(table.file_id, table.encode()) for table in outputs]
+            yield self.engine.process(self.storage.write_tables(blobs))
+            self.compaction_bytes += sum(len(blob) for _fid, blob in blobs)
             survivors = [table for table in self._l1 if table not in selected]
             self._l0 = []
             self._l1 = sorted(survivors + outputs, key=lambda t: t.min_key)
@@ -176,6 +187,7 @@ class LSMTree:
                 self.storage.delete_table(table.file_id)
             self.compaction_count += 1
         finally:
+            self.compaction_seconds += self.engine.now - started
             self._compaction_lock.release(lock)
         return None
 
@@ -189,10 +201,10 @@ class LSMTree:
             chunk.append((key, value))
             chunk_bytes += len(key.encode()) + (len(value) if value else 0)
             if chunk_bytes >= target_bytes:
-                outputs.append(SSTable(chunk))
+                outputs.append(SSTable.from_sorted(chunk))
                 chunk, chunk_bytes = [], 0
         if chunk:
-            outputs.append(SSTable(chunk))
+            outputs.append(SSTable.from_sorted(chunk))
         return outputs
 
     def _manifest(self) -> dict:
@@ -220,8 +232,14 @@ class LSMTree:
             value = memtable.get(key, sentinel)
             if value is not sentinel:
                 return True, value
+        # Hash the key once for every filter probe below (a point lookup
+        # can touch all of L0 plus one L1 run; the blake2b digest is the
+        # expensive half of a bloom probe).
+        key_hash: Optional[tuple[int, int]] = None
         for table in reversed(self._l0):
-            if not table.might_contain(key):
+            if key_hash is None:
+                key_hash = BloomFilter.hash_key(key)
+            if not table.filter.might_contain_hashed(*key_hash):
                 self.filter_skips += 1
                 continue
             found, value = table.get(key)
@@ -229,7 +247,9 @@ class LSMTree:
                 return True, value
         for table in self._l1:
             if table.min_key <= key <= table.max_key:
-                if not table.might_contain(key):
+                if key_hash is None:
+                    key_hash = BloomFilter.hash_key(key)
+                if not table.filter.might_contain_hashed(*key_hash):
                     self.filter_skips += 1
                     continue
                 found, value = table.get(key)
@@ -269,11 +289,16 @@ class LSMTree:
         self._wal_start = 0
         if manifest is not None:
             self._wal_start = manifest.get("wal_start", 0)
-            for file_id in manifest.get("l0", []):
-                blob = yield self.engine.process(self.storage.read_table(file_id))
+            l0_ids = list(manifest.get("l0", []))
+            l1_ids = list(manifest.get("l1", []))
+            # One batched fetch: every table read is in flight at once,
+            # so recovery I/O overlaps across dies instead of paying one
+            # device round-trip per table.
+            blobs = yield self.engine.process(
+                self.storage.read_tables(l0_ids + l1_ids))
+            for file_id, blob in zip(l0_ids, blobs):
                 self._l0.append(SSTable.decode(blob, file_id=file_id))
-            for file_id in manifest.get("l1", []):
-                blob = yield self.engine.process(self.storage.read_table(file_id))
+            for file_id, blob in zip(l1_ids, blobs[len(l0_ids):]):
                 self._l1.append(SSTable.decode(blob, file_id=file_id))
         records = yield self.engine.process(self.wal.recover(self._wal_start))
         replayed = 0

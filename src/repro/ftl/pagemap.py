@@ -89,6 +89,10 @@ class PageMapFTL:
                 self._dies.append(
                     _DieAllocator(channel, die, list(range(geometry.blocks_per_die)))
                 )
+        # Free-block count maintained incrementally: the per-page submit
+        # paths consult it on every page, so recomputing the sum across
+        # dies each time dominates sustained-write profiles.
+        self._free_block_count = sum(len(die.free_blocks) for die in self._dies)
         self._next_die = 0
         self._gc_lock = Resource(engine)
         self._gc_low_watermark = max(2, len(self._dies))
@@ -99,6 +103,10 @@ class PageMapFTL:
         self._bg_signal = Store(engine)
         self._bg_kicked = False
         self._generation = 0
+        # Shared program batch for foreground-GC-stalled submits, created
+        # lazily at the first stall and reused for every stalled page
+        # thereafter (see :meth:`write_submit`).
+        self._fallback_batch = None
         engine.process(self._background_gc_loop(), name="ftl-background-gc")
 
     def reboot(self) -> None:
@@ -114,6 +122,9 @@ class PageMapFTL:
         self._gc_lock = Resource(self.engine)
         self._bg_signal = Store(self.engine)
         self._bg_kicked = False
+        # The pre-crash fallback batch's die workers died with the purged
+        # event queue; recreate lazily on the next stall.
+        self._fallback_batch = None
         self.engine.process(self._background_gc_loop(), name="ftl-background-gc")
         for die in self._dies:
             if die.active_block is not None:
@@ -176,12 +187,13 @@ class PageMapFTL:
             die.active_block = active
             die.next_page = next_page
         self._next_die = state["next_die"]
+        self._free_block_count = sum(len(die.free_blocks) for die in self._dies)
 
     # -- introspection --------------------------------------------------------
 
     @property
     def total_free_blocks(self) -> int:
-        return sum(len(die.free_blocks) for die in self._dies)
+        return self._free_block_count
 
     def peek(self, lpn: int) -> bytes:
         """Read logical page contents without timing (assertion helper)."""
@@ -197,6 +209,11 @@ class PageMapFTL:
         if counted != len(self.map):
             raise AssertionError(
                 f"valid-page count {counted} != mapped logical pages {len(self.map)}"
+            )
+        actual_free = sum(len(die.free_blocks) for die in self._dies)
+        if actual_free != self._free_block_count:
+            raise AssertionError(
+                f"free-block counter {self._free_block_count} != actual {actual_free}"
             )
 
     # -- allocation ------------------------------------------------------------
@@ -214,6 +231,7 @@ class PageMapFTL:
                 if not die.free_blocks:
                     continue
                 die.active_block = die.free_blocks.popleft()
+                self._free_block_count -= 1
                 die.next_page = 0
             page = die.next_page
             die.next_page += 1
@@ -243,7 +261,7 @@ class PageMapFTL:
         if len(data) > self.page_size:
             raise ValueError(f"page write of {len(data)} bytes exceeds {self.page_size}")
         with tracing.span("ftl.pagemap.write", self.engine):
-            free = self.total_free_blocks
+            free = self._free_block_count
             if free < self._bg_watermark:
                 self._kick_background_gc()
             if free < self._gc_low_watermark:
@@ -329,16 +347,19 @@ class PageMapFTL:
         Returns ``None`` when the page was handed to the batch —
         ``on_done(token)`` then fires at the instant a per-page
         :meth:`write` process issued now would have completed.  When the
-        write must stall on foreground GC it falls back to a per-page
-        :meth:`write` process (returned to the caller to await), so the
-        stall blocks only this page, exactly like the unbatched path.
+        write must stall on foreground GC it falls back to a stalled-write
+        process (returned to the caller to await), so the stall blocks
+        only this page, exactly like the unbatched path — but all stalled
+        pages share one primed fallback batch instead of each spawning a
+        fresh per-page ``program_page`` process (see
+        :meth:`_stalled_write`).
         """
         self._check_lpn(lpn)
         if len(data) > self.page_size:
             raise ValueError(f"page write of {len(data)} bytes exceeds {self.page_size}")
-        free = self.total_free_blocks
+        free = self._free_block_count
         if free < self._gc_low_watermark:
-            return self.engine.process(self.write(lpn, data))
+            return self.engine.process(self._stalled_write(lpn, data))
         if free < self._bg_watermark:
             self._kick_background_gc()
         t0 = self.engine.now if tracing.enabled else 0.0
@@ -356,6 +377,42 @@ class PageMapFTL:
                 on_done(token)
 
         batch.submit(ppn, data, on_done=_programmed)
+        return None
+
+    def _stalled_write(self, lpn: int, data: bytes) -> Iterator[Event]:
+        """Process: the foreground-GC fallback for :meth:`write_submit`.
+
+        Mirrors :meth:`write` step for step — background kick, stall
+        accounting, inline collection, allocation, map binding — but
+        streams the program through one shared primed batch instead of
+        spawning a per-page ``program_page`` process.  During a stall
+        burst (a flush or destage train arriving under the low watermark)
+        the first stalled page creates the batch and every later one
+        reuses its parked die workers, so the burst costs one GC plus
+        O(dies) workers rather than three processes per page.  The batch
+        replays the per-page timed sequence verbatim, so completion
+        instants are identical to the old per-page fallback.
+        """
+        with tracing.span("ftl.pagemap.write", self.engine):
+            free = self._free_block_count
+            if free < self._bg_watermark:
+                self._kick_background_gc()
+            if free < self._gc_low_watermark:
+                self.stats.foreground_gc_stalls += 1
+                yield self.engine.process(self._collect_garbage())
+            ppn = self._allocate_page()
+            batch = self._fallback_batch
+            if batch is None:
+                batch = self._fallback_batch = self.flash.program_batch()
+            done = self.engine.event()
+            batch.submit(ppn, data,
+                         on_done=lambda _token: done._succeed_processed())
+            yield done
+            previous = self.map.bind(lpn, ppn)
+            self._mark_valid(ppn)
+            if previous is not None:
+                self._invalidate(previous)
+        self.stats.host_pages_written += 1
         return None
 
     def trim(self, lpn: int) -> None:
@@ -490,5 +547,6 @@ class PageMapFTL:
         self._valid.pop(key, None)
         owner = self._dies[channel * geometry.dies_per_channel + die]
         owner.free_blocks.append(block)
+        self._free_block_count += 1
         self.stats.blocks_erased += 1
         self.stats.gc_pages_written += len(pages)

@@ -12,14 +12,21 @@ from __future__ import annotations
 
 
 class ByteRegion:
-    """A named, bounds-checked byte store."""
+    """A named, bounds-checked byte store.
+
+    The backing bytearray is allocated lazily on the first write: large
+    regions (the 16 MiB BA DRAM, multi-MiB host buffers) are routinely
+    constructed and never — or only sparsely — touched, and eagerly
+    zero-filling them dominated short-run platform construction.
+    An untouched region reads as zeros, exactly like the eager version.
+    """
 
     def __init__(self, name: str, size: int) -> None:
         if size <= 0:
             raise ValueError(f"region size must be positive, got {size}")
         self.name = name
         self.size = size
-        self._data = bytearray(size)
+        self._data: bytearray | None = None
 
     def _check(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
@@ -29,13 +36,19 @@ class ByteRegion:
 
     def write(self, offset: int, data: bytes) -> None:
         self._check(offset, len(data))
+        if self._data is None:
+            self._data = bytearray(self.size)
         self._data[offset:offset + len(data)] = data
 
     def read(self, offset: int, nbytes: int) -> bytes:
         self._check(offset, nbytes)
+        if self._data is None:
+            return bytes(nbytes)
         return bytes(self._data[offset:offset + nbytes])
 
     def snapshot(self) -> bytes:
+        if self._data is None:
+            return bytes(self.size)
         return bytes(self._data)
 
     def restore(self, image: bytes) -> None:
@@ -43,10 +56,13 @@ class ByteRegion:
             raise ValueError(
                 f"restore image of {len(image)} bytes does not match region size {self.size}"
             )
-        self._data[:] = image
+        if self._data is None:
+            self._data = bytearray(image)
+        else:
+            self._data[:] = image
 
     def clear(self) -> None:
-        self._data[:] = bytes(self.size)
+        self._data = None
 
 
 class PersistentMemoryRegion(ByteRegion):

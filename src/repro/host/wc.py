@@ -26,16 +26,25 @@ class _Line:
     mask: bytearray
 
     def spans(self) -> list[tuple[int, bytes]]:
-        """Contiguous dirty spans as ``(offset_in_line, bytes)`` pairs."""
+        """Contiguous dirty spans as ``(offset_in_line, bytes)`` pairs.
+
+        Scans the mask with C-level ``find`` instead of per-byte Python
+        iteration; a fully dirty line (the common case for streaming
+        MMIO writes) short-circuits to a single span.
+        """
+        mask = self.mask
+        if 0 not in mask:
+            return [(0, bytes(self.data))]
         result: list[tuple[int, bytes]] = []
-        start = None
-        for index in range(len(self.mask) + 1):
-            dirty = index < len(self.mask) and self.mask[index]
-            if dirty and start is None:
-                start = index
-            elif not dirty and start is not None:
-                result.append((start, bytes(self.data[start:index])))
-                start = None
+        data = self.data
+        start = mask.find(1)
+        while start != -1:
+            end = mask.find(0, start + 1)
+            if end == -1:
+                result.append((start, bytes(data[start:])))
+                break
+            result.append((start, bytes(data[start:end])))
+            start = mask.find(1, end + 1)
         return result
 
 

@@ -22,7 +22,7 @@ from typing import Callable, Iterator, Optional
 from repro.analysis import sanitizer as simsan
 from repro.obs import tracing
 from repro.sim import Engine, Resource, RngStreams, Store
-from repro.sim.engine import Event, Process
+from repro.sim.engine import Event, Process, Timeout
 from repro.nand.geometry import NandGeometry
 from repro.nand.timing import NandTiming
 
@@ -104,6 +104,10 @@ class FlashArray:
         # operation, and every timed site guards on that, so the healthy
         # path computes byte-identical timeouts with the dict absent.
         self._die_slowdown: dict[int, float] = {}
+        # (ppn, erase_count) -> read retries.  raw_bit_errors is a pure
+        # blake2b draw, so re-reads of a page at unchanged wear can reuse
+        # the verdict instead of re-hashing on every submit.
+        self._retry_cache: dict[tuple[int, int], int] = {}
         self.stats = FlashStats()
 
     # -- helpers -------------------------------------------------------------
@@ -152,6 +156,19 @@ class FlashArray:
 
     def address(self, ppn: int) -> PageAddress:
         return PageAddress(*self.geometry.decompose(ppn))
+
+    def _retries_for(self, ppn: int, erase_count: int) -> int:
+        """Read retries needed for ``ppn`` at ``erase_count`` (memoized)."""
+        key = (ppn, erase_count)
+        cached = self._retry_cache.get(key)
+        if cached is None:
+            from repro.nand.ecc import raw_bit_errors, retries_needed
+
+            errors = raw_bit_errors(self.ecc, ppn, erase_count,
+                                    self.timing.endurance_cycles, self._ecc_seed)
+            cached = retries_needed(self.ecc, errors)  # may raise UECC
+            self._retry_cache[key] = cached
+        return cached
 
     def wear_summary(self) -> dict[str, float]:
         """Erase-count distribution across all blocks (lifetime reporting).
@@ -238,31 +255,30 @@ class FlashArray:
         pages beyond the retry budget raise
         :class:`~repro.nand.ecc.UncorrectableError`.
         """
-        from repro.nand.ecc import raw_bit_errors, retries_needed
-
-        addr = self.address(ppn)
-        state = self._block_state(addr.channel, addr.die, addr.block)
+        channel, die, block, page = self.geometry.decompose(ppn)
+        state = self._block_state(channel, die, block)
         retries = 0
-        if addr.page in state.programmed:
-            errors = raw_bit_errors(self.ecc, ppn, state.erase_count,
-                                    self.timing.endurance_cycles, self._ecc_seed)
-            retries = retries_needed(self.ecc, errors)  # may raise UECC
+        if page in state.programmed:
+            retries = self._retries_for(ppn, state.erase_count)  # may raise UECC
         if tracing.enabled:
             _t0 = self.engine.now
-        die_res = self._die_resource(addr.channel, addr.die)
+        die_index = channel * self.geometry.dies_per_channel + die
+        die_res = self._dies[die_index]
         die_req = die_res.request()
         yield die_req
+        _addr = None
         if simsan.enabled:
-            simsan.die_op_begin(self, addr, die_res, die_req, "read")
+            _addr = PageAddress(channel, die, block, page)
+            simsan.die_op_begin(self, _addr, die_res, die_req, "read")
         try:
             slow = self._die_slowdown
-            factor = slow.get(self.die_index(addr.channel, addr.die), 1.0) if slow else 1.0
+            factor = slow.get(die_index, 1.0) if slow else 1.0
             for _sense in range(1 + retries):
                 sense = self.timing.sample_read(self._rng)
                 if factor != 1.0:
                     sense *= factor
                 yield self.engine.timeout(sense)
-            channel_res = self._channels[addr.channel]
+            channel_res = self._channels[channel]
             chan_req = channel_res.request()
             yield chan_req
             try:
@@ -270,8 +286,8 @@ class FlashArray:
             finally:
                 channel_res.release(chan_req)
         finally:
-            if simsan.enabled:
-                simsan.die_op_end(self, addr, die_res, die_req, "read")
+            if _addr is not None:
+                simsan.die_op_end(self, _addr, die_res, die_req, "read")
             die_res.release(die_req)
         self.stats.page_reads += 1
         self.stats.read_retries += retries
@@ -285,29 +301,32 @@ class FlashArray:
             raise ValueError(
                 f"data of {len(data)} bytes exceeds page size {self.geometry.page_size}"
             )
-        addr = self.address(ppn)
-        state = self._block_state(addr.channel, addr.die, addr.block)
+        channel, die, block, page = self.geometry.decompose(ppn)
+        state = self._block_state(channel, die, block)
         if tracing.enabled:
             _t0 = self.engine.now
-        die_res = self._die_resource(addr.channel, addr.die)
+        die_index = channel * self.geometry.dies_per_channel + die
+        die_res = self._dies[die_index]
         die_req = die_res.request()
         yield die_req
+        _addr = None
         if simsan.enabled:
-            simsan.die_op_begin(self, addr, die_res, die_req, "program")
+            _addr = PageAddress(channel, die, block, page)
+            simsan.die_op_begin(self, _addr, die_res, die_req, "program")
         try:
             # Protocol checks run once the die is held, i.e. after every
             # earlier operation on this die has completed, so concurrent
             # in-order submissions are not misdiagnosed as out-of-order.
-            if addr.page in state.programmed:
+            if page in state.programmed:
                 raise NandProtocolError(
                     f"page {ppn} already programmed since last erase (erase-before-program)"
                 )
-            if addr.page != state.write_pointer:
+            if page != state.write_pointer:
                 raise NandProtocolError(
-                    f"out-of-order program in block ({addr.channel},{addr.die},{addr.block}): "
-                    f"page {addr.page} programmed while write pointer is {state.write_pointer}"
+                    f"out-of-order program in block ({channel},{die},{block}): "
+                    f"page {page} programmed while write pointer is {state.write_pointer}"
                 )
-            channel_res = self._channels[addr.channel]
+            channel_res = self._channels[channel]
             chan_req = channel_res.request()
             yield chan_req
             try:
@@ -317,19 +336,19 @@ class FlashArray:
             program = self.timing.sample_program(self._rng)
             slow = self._die_slowdown
             if slow:
-                program *= slow.get(self.die_index(addr.channel, addr.die), 1.0)
+                program *= slow.get(die_index, 1.0)
             yield self.engine.timeout(program)
         finally:
-            if simsan.enabled:
-                simsan.die_op_end(self, addr, die_res, die_req, "program")
+            if _addr is not None:
+                simsan.die_op_end(self, _addr, die_res, die_req, "program")
             die_res.release(die_req)
         if len(data) != self.geometry.page_size:
             data = bytes(data) + bytes(self.geometry.page_size - len(data))
         elif type(data) is not bytes:
             data = bytes(data)
         self._data[ppn] = data
-        state.programmed.add(addr.page)
-        state.write_pointer = addr.page + 1
+        state.programmed.add(page)
+        state.write_pointer = page + 1
         self.stats.page_programs += 1
         if tracing.enabled:
             tracing.observe("nand.array.program", self.engine.now - _t0)
@@ -439,7 +458,8 @@ class _NandBatch:
     position its page already holds.
     """
 
-    __slots__ = ("array", "engine", "_queues", "_workers", "_closed")
+    __slots__ = ("array", "engine", "_queues", "_workers", "_closed",
+                 "_pages", "_ppb", "_bpd", "_dpc")
 
     def __init__(self, array: FlashArray) -> None:
         self.array = array
@@ -447,24 +467,31 @@ class _NandBatch:
         self._queues: dict[int, Store] = {}
         self._workers: list[Process] = []
         self._closed = False
+        # Geometry strides, hoisted so submit() decomposes PPNs with
+        # plain integer arithmetic instead of per-page dataclass hops.
+        geometry = array.geometry
+        self._pages = geometry.pages
+        self._ppb = geometry.pages_per_block
+        self._bpd = geometry.blocks_per_die
+        self._dpc = geometry.dies_per_channel
 
-    def _enqueue(self, addr: PageAddress, die_res: Resource, item: tuple) -> None:
+    def _enqueue(self, die_index: int, die_res: Resource, item: tuple) -> None:
         if self._closed:
             raise SimulationBatchClosed("submit() on a closed NAND batch")
-        die_index = addr.channel * self.array.geometry.dies_per_channel + addr.die
         queue = self._queues.get(die_index)
         if queue is None:
             queue = Store(self.engine)
             self._queues[die_index] = queue
             self._workers.append(
                 self.engine.process(
-                    self._worker(die_res, queue),
+                    self._worker(die_res, queue, die_index),
                     name=f"{type(self).__name__}[die{die_index}]",
                 )
             )
         queue.put(item)
 
-    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+    def _worker(self, die_res: Resource, queue: Store,
+                die_index: int) -> Iterator[Event]:
         raise NotImplementedError
 
     def prime(self, die_indices: "list[int]") -> None:
@@ -485,7 +512,7 @@ class _NandBatch:
             self._queues[die_index] = queue
             self._workers.append(
                 self.engine.process(
-                    self._worker(self.array._dies[die_index], queue),
+                    self._worker(self.array._dies[die_index], queue, die_index),
                     name=f"{type(self).__name__}[die{die_index}]",
                 )
             )
@@ -532,64 +559,73 @@ class NandReadBatch(_NandBatch):
 
     def submit(self, ppn: int, on_data: Optional[Callable[[object, bytes], None]] = None,
                token: object = None) -> None:
-        from repro.nand.ecc import raw_bit_errors, retries_needed
-
         array = self.array
-        addr = array.address(ppn)
-        state = array._block_state(addr.channel, addr.die, addr.block)
+        if not 0 <= ppn < self._pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self._pages})")
+        block_index = ppn // self._ppb
+        page = ppn - block_index * self._ppb
+        die_index = block_index // self._bpd
+        block = block_index - die_index * self._bpd
+        state = array._block_state(die_index // self._dpc, die_index % self._dpc, block)
         retries = 0
-        if addr.page in state.programmed:
-            errors = raw_bit_errors(array.ecc, ppn, state.erase_count,
-                                    array.timing.endurance_cycles, array._ecc_seed)
-            retries = retries_needed(array.ecc, errors)  # may raise UECC
+        if page in state.programmed:
+            retries = array._retries_for(ppn, state.erase_count)  # may raise UECC
         t0 = self.engine.now if tracing.enabled else 0.0
-        die_res = array._die_resource(addr.channel, addr.die)
+        die_res = array._dies[die_index]
         die_req = die_res.request()
-        self._enqueue(addr, die_res, (die_req, ppn, addr, retries, on_data, token, t0))
+        self._enqueue(die_index, die_res,
+                      (die_req, ppn, block, page, retries, on_data, token, t0))
 
-    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+    def _worker(self, die_res: Resource, queue: Store,
+                die_index: int) -> Iterator[Event]:
         array = self.array
         engine = self.engine
-        timing = array.timing
+        timeout = Timeout  # direct construction; engine.timeout is a thin wrapper
+        sample_read = array.timing.sample_read
         rng = array._rng
         stats = array.stats
         transfer = array._transfer_time(array.geometry.page_size)
+        channel = die_index // self._dpc
+        die = die_index % self._dpc
+        get = queue.get
         while True:
-            item = yield queue.get()
+            item = yield get()
             if item is None:
                 return
-            die_req, ppn, addr, retries, on_data, token, t0 = item
+            die_req, ppn, block, page, retries, on_data, token, t0 = item
             try:
                 yield die_req
+                _addr = None
                 if simsan.enabled:
-                    simsan.die_op_begin(array, addr, die_res, die_req, "read")
+                    _addr = PageAddress(channel, die, block, page)
+                    simsan.die_op_begin(array, _addr, die_res, die_req, "read")
                 try:
                     # Consult the slowdown map per op (not at worker
                     # start): a die can sicken or heal mid-batch.
                     slow = array._die_slowdown
-                    factor = (slow.get(array.die_index(addr.channel, addr.die), 1.0)
-                              if slow else 1.0)
+                    factor = slow.get(die_index, 1.0) if slow else 1.0
                     for _sense in range(1 + retries):
-                        sense = timing.sample_read(rng)
+                        sense = sample_read(rng)
                         if factor != 1.0:
                             sense *= factor
-                        yield engine.timeout(sense)
-                    channel_res = array._channels[addr.channel]
+                        yield timeout(engine, sense)
+                    channel_res = array._channels[channel]
                     chan_req = channel_res.request()
                     yield chan_req
                     try:
-                        yield engine.timeout(transfer)
+                        yield timeout(engine, transfer)
                     finally:
                         channel_res.release(chan_req)
                 finally:
-                    if simsan.enabled:
-                        simsan.die_op_end(array, addr, die_res, die_req, "read")
+                    if _addr is not None:
+                        simsan.die_op_end(array, _addr, die_res, die_req, "read")
                     die_res.release(die_req)
             except BaseException:
                 self._abort(queue, die_res)
                 raise
             stats.page_reads += 1
-            stats.read_retries += retries
+            if retries:
+                stats.read_retries += retries
             if tracing.enabled:
                 tracing.observe("nand.array.read", engine.now - t0)
             if on_data is not None:
@@ -610,62 +646,79 @@ class NandProgramBatch(_NandBatch):
                on_done: Optional[Callable[[object], None]] = None,
                token: object = None) -> None:
         array = self.array
-        if len(data) > array.geometry.page_size:
+        nbytes = len(data)
+        if nbytes > array.geometry.page_size:
             raise ValueError(
-                f"data of {len(data)} bytes exceeds page size {array.geometry.page_size}"
+                f"data of {nbytes} bytes exceeds page size {array.geometry.page_size}"
             )
-        addr = array.address(ppn)
+        if not 0 <= ppn < self._pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self._pages})")
+        block_index = ppn // self._ppb
+        page = ppn - block_index * self._ppb
+        die_index = block_index // self._bpd
+        block = block_index - die_index * self._bpd
+        # Channel transfer time depends only on the payload length, so it
+        # is precomputed here and carried in the item: the worker's timed
+        # pass stays pure event scheduling.
+        transfer = array._transfer_time(nbytes)
         t0 = self.engine.now if tracing.enabled else 0.0
-        die_res = array._die_resource(addr.channel, addr.die)
+        die_res = array._dies[die_index]
         die_req = die_res.request()
-        self._enqueue(addr, die_res, (die_req, ppn, addr, data, on_done, token, t0))
+        self._enqueue(die_index, die_res,
+                      (die_req, ppn, block, page, data, transfer, on_done, token, t0))
 
-    def _worker(self, die_res: Resource, queue: Store) -> Iterator[Event]:
+    def _worker(self, die_res: Resource, queue: Store,
+                die_index: int) -> Iterator[Event]:
         array = self.array
         engine = self.engine
-        timing = array.timing
+        timeout = Timeout  # direct construction; engine.timeout is a thin wrapper
+        sample_program = array.timing.sample_program
         rng = array._rng
         stats = array.stats
         page_size = array.geometry.page_size
+        channel = die_index // self._dpc
+        die = die_index % self._dpc
+        get = queue.get
         while True:
-            item = yield queue.get()
+            item = yield get()
             if item is None:
                 return
-            die_req, ppn, addr, data, on_done, token, t0 = item
-            state = array._block_state(addr.channel, addr.die, addr.block)
+            die_req, ppn, block, page, data, transfer, on_done, token, t0 = item
+            state = array._block_state(channel, die, block)
             try:
                 yield die_req
+                _addr = None
                 if simsan.enabled:
-                    simsan.die_op_begin(array, addr, die_res, die_req, "program")
+                    _addr = PageAddress(channel, die, block, page)
+                    simsan.die_op_begin(array, _addr, die_res, die_req, "program")
                 try:
-                    if addr.page in state.programmed:
+                    if page in state.programmed:
                         raise NandProtocolError(
                             f"page {ppn} already programmed since last erase "
                             "(erase-before-program)"
                         )
-                    if addr.page != state.write_pointer:
+                    if page != state.write_pointer:
                         raise NandProtocolError(
                             f"out-of-order program in block "
-                            f"({addr.channel},{addr.die},{addr.block}): "
-                            f"page {addr.page} programmed while write pointer is "
+                            f"({channel},{die},{block}): "
+                            f"page {page} programmed while write pointer is "
                             f"{state.write_pointer}"
                         )
-                    channel_res = array._channels[addr.channel]
+                    channel_res = array._channels[channel]
                     chan_req = channel_res.request()
                     yield chan_req
                     try:
-                        yield engine.timeout(array._transfer_time(len(data)))
+                        yield timeout(engine, transfer)
                     finally:
                         channel_res.release(chan_req)
-                    program = timing.sample_program(rng)
+                    program = sample_program(rng)
                     slow = array._die_slowdown
                     if slow:
-                        program *= slow.get(
-                            array.die_index(addr.channel, addr.die), 1.0)
-                    yield engine.timeout(program)
+                        program *= slow.get(die_index, 1.0)
+                    yield timeout(engine, program)
                 finally:
-                    if simsan.enabled:
-                        simsan.die_op_end(array, addr, die_res, die_req, "program")
+                    if _addr is not None:
+                        simsan.die_op_end(array, _addr, die_res, die_req, "program")
                     die_res.release(die_req)
             except BaseException:
                 self._abort(queue, die_res)
@@ -675,8 +728,8 @@ class NandProgramBatch(_NandBatch):
             elif type(data) is not bytes:
                 data = bytes(data)
             array._data[ppn] = data
-            state.programmed.add(addr.page)
-            state.write_pointer = addr.page + 1
+            state.programmed.add(page)
+            state.write_pointer = page + 1
             stats.page_programs += 1
             if tracing.enabled:
                 tracing.observe("nand.array.program", engine.now - t0)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from collections.abc import Generator
+from types import GeneratorType
 from typing import Any, Callable, Optional
 
 from repro.analysis import sanitizer as simsan
@@ -184,7 +185,10 @@ class Process(Event):
     __slots__ = ("_generator", "_send", "_throw", "_waiting_on", "name")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
-        if not isinstance(generator, Generator):
+        # Plain generators (the only kind the codebase produces) pass the
+        # C-level type check; the ABC isinstance is kept as a fallback for
+        # exotic Generator implementations.
+        if type(generator) is not GeneratorType and not isinstance(generator, Generator):
             raise TypeError(
                 f"Process requires a generator (a function using 'yield'), got {generator!r}"
             )

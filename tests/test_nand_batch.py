@@ -9,6 +9,7 @@ times as exact floats, plus data and stats.
 
 import pytest
 
+from repro.analysis import sanitizer as simsan
 from repro.nand.array import (
     FlashArray,
     NandProtocolError,
@@ -143,6 +144,107 @@ def test_streaming_submissions_match_staggered_per_page_spawns():
     engine_b.run_process(drive_batched())
 
     assert per_page == batched
+
+
+def test_read_pages_wrapper_matches_per_page_spawn_times():
+    """The ``read_pages`` convenience wrapper is timing-identical to
+    spawning one ``read_page`` process per page at the call instant —
+    same final clock, same RNG draw sequence, same stats."""
+    engine_a, array_a = _build()
+    _populate(engine_a, array_a, 24)
+
+    def drive_per_page():
+        yield engine_a.all_of(
+            [engine_a.process(array_a.read_page(p)) for p in range(24)])
+
+    engine_a.run_process(drive_per_page())
+
+    engine_b, array_b = _build()
+    _populate(engine_b, array_b, 24)
+    contents = engine_b.run_process(array_b.read_pages(list(range(24))))
+
+    assert engine_a.now == engine_b.now  # exact float equality
+    assert array_a._rng.getstate() == array_b._rng.getstate()
+    assert array_a.stats.page_reads == array_b.stats.page_reads == 24
+    assert contents == [array_b.peek(p) for p in range(24)]
+
+
+def test_program_pages_wrapper_matches_per_page_spawn_times():
+    engine_a, array_a = _build()
+
+    def drive_per_page():
+        yield engine_a.all_of([
+            engine_a.process(array_a.program_page(p, bytes([p + 1]) * PAGE))
+            for p in range(12)])
+
+    engine_a.run_process(drive_per_page())
+
+    engine_b, array_b = _build()
+    engine_b.run_process(array_b.program_pages(
+        [(p, bytes([p + 1]) * PAGE) for p in range(12)]))
+
+    assert engine_a.now == engine_b.now
+    assert array_a._rng.getstate() == array_b._rng.getstate()
+    assert array_a._data == array_b._data
+
+
+def test_batched_reads_on_slow_die_match_per_page():
+    """Die-slowdown fault injection scales batched and per-page reads
+    identically — the worker consults the slowdown map per operation."""
+    def build_slow(factor):
+        engine, array = _build()
+        _populate(engine, array, 24)
+        # Pages 0..23 all map to die (0, 0) in this geometry — slow the
+        # die the workload actually touches.
+        array.set_die_slowdown(array.die_index(0, 0), factor)
+        return engine, array
+
+    engine_a, array_a = build_slow(3.0)
+    per_page = {}
+
+    def reader(ppn):
+        data = yield engine_a.process(array_a.read_page(ppn))
+        per_page[ppn] = (engine_a.now, data[:2])
+
+    def drive_per_page():
+        yield engine_a.all_of([engine_a.process(reader(p)) for p in range(24)])
+
+    engine_a.run_process(drive_per_page())
+
+    engine_b, array_b = build_slow(3.0)
+    batched = {}
+
+    def drive_batched():
+        batch = array_b.read_batch()
+        for ppn in range(24):
+            batch.submit(ppn,
+                         on_data=lambda tok, data: batched.__setitem__(
+                             tok, (engine_b.now, data[:2])),
+                         token=ppn)
+        yield from batch.drain()
+
+    engine_b.run_process(drive_batched())
+
+    assert per_page == batched
+    # The slow die really did slow down relative to a healthy run.
+    engine_c, array_c = _build()
+    _populate(engine_c, array_c, 24)
+    engine_c.run_process(array_c.read_pages(list(range(24))))
+    assert engine_b.now > engine_c.now
+
+
+def test_batched_ops_are_sanitizer_clean():
+    """Batch workers keep every die/durability invariant the per-page
+    paths are instrumented for — zero violations under simsan."""
+    with simsan.activated() as state:
+        engine, array = _build()
+        _populate(engine, array, 16)
+        engine.run_process(array.program_pages(
+            [(p, bytes([p]) * PAGE) for p in range(16, 32)]))
+        data = engine.run_process(array.read_pages(list(range(32))))
+        assert data[20] == bytes([20]) * PAGE
+        assert state.checks > 0
+        assert state.violations == 0
 
 
 def test_read_pages_returns_contents_in_request_order():
