@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The full local gate: domain lint -> generic lint -> typing -> tests.
+# The full local gate: domain lint -> whole-program scan -> generic
+# lint -> typing -> tests.
 #
 #   scripts/check.sh          # everything (tier-1 includes the soak tests)
 #   scripts/check.sh --fast   # deselect the soak tests
@@ -30,6 +31,9 @@ step() {
 
 step "repro lint (determinism/kernel/observability)" \
     python -m repro lint src/repro
+
+step "repro scan (interprocedural durability/generator/lockset proofs)" \
+    python -m repro scan src/repro
 
 if python -c "import ruff" 2>/dev/null; then
     step "ruff (generic lint baseline)" python -m ruff check src/repro

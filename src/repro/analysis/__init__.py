@@ -1,12 +1,18 @@
 """Static and runtime analysis for the dual-path simulator.
 
-Two halves, mirroring how large event-driven simulators keep their
+Three layers, mirroring how large event-driven simulators keep their
 ordering invariants machine-checked:
 
 * :mod:`repro.analysis.lint` — ``reprolint``, an AST-based determinism
   linter run as ``repro lint``.  DET rules ban nondeterminism in sim
   code, SIM rules catch kernel misuse (discarded events, wall-clock
-  blocking), OBS rules enforce the tracing conventions.
+  blocking, yields in finally suites), OBS rules enforce the tracing
+  conventions.  Single-statement, single-file.
+* :mod:`repro.analysis.scan` — ``reproscan``, a whole-program
+  CFG/dataflow analyzer run as ``repro scan``: proves durability
+  ordering (DUR), generator discipline (GEN), and die-parallel locksets
+  (LOCK) across function and module boundaries — the static twin of
+  the sanitizer's runtime checks.
 * :mod:`repro.analysis.sanitizer` — ``simsan``, a runtime invariant
   sanitizer (``--sanitize`` / ``REPRO_SANITIZE=1``): lockset-style die
   access checking, durability-protocol ordering, mapping-table

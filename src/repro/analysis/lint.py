@@ -58,6 +58,9 @@ RULES: dict[str, str] = {
     "SIM103": "negative literal delay passed to timeout()",
     "SIM104": "float equality comparison against a simulated timestamp "
               "(.now); compare with tolerance or ordering",
+    "SIM105": "yield inside a finally suite of a generator; GeneratorExit "
+              "thrown at kernel close lands there and the yield raises "
+              "RuntimeError or abandons the cleanup",
     "OBS101": "BA_* API entry point emits no tracing span/observation",
     "OBS102": "tracing.observe/count call not guarded by 'if "
               "tracing.enabled' (costs allocations when tracing is off)",
@@ -297,6 +300,7 @@ class _FileLinter(ast.NodeVisitor):
     # -- OBS101: BA_* entry points must trace ---------------------------------
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_yield_in_finally(node)
         if self._is_core_api and node.name.startswith("ba_"):
             emits = any(
                 isinstance(sub, ast.Attribute)
@@ -311,6 +315,34 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- SIM105: yield in a generator's finally suite --------------------------
+
+    def _check_yield_in_finally(self, node: ast.FunctionDef) -> None:
+        own_scope = list(_own_scope_walk(node))
+        if not any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                   for sub in own_scope):
+            return  # not a generator; finally-yield is someone else's problem
+        seen: set[tuple[int, int]] = set()
+        for sub in own_scope:
+            if not isinstance(sub, ast.Try):
+                continue
+            for final_stmt in sub.finalbody:
+                if isinstance(final_stmt, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue  # a nested def is its own generator scope
+                for inner in _own_scope_walk(final_stmt):
+                    if not isinstance(inner, (ast.Yield, ast.YieldFrom)):
+                        continue
+                    where = (inner.lineno, inner.col_offset)
+                    if where in seen:  # nested try/finally double-walk
+                        continue
+                    seen.add(where)
+                    self._report(inner, "SIM105",
+                                 "yield inside a finally suite: when the "
+                                 "kernel closes this generator, GeneratorExit "
+                                 "resumes here and the yield raises "
+                                 "RuntimeError or skips the cleanup")
 
     # -- OBS102/OBS103: guarded, well-named observations ----------------------
 
@@ -353,6 +385,18 @@ class _FileLinter(ast.NodeVisitor):
                                  f"{first.value.split('.', 1)[0]!r}, not a "
                                  "registered layer namespace "
                                  f"({', '.join(sorted(SPAN_NAMESPACES))})")
+
+
+def _own_scope_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree, excluding nested function/lambda scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
 
 
 def _is_negative_literal(node: ast.AST) -> bool:

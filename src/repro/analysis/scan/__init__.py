@@ -1,0 +1,29 @@
+"""reproscan: whole-program static analysis for the simulator's protocols.
+
+Where reprolint (:mod:`repro.analysis.lint`) checks single-file *shapes*
+and simsan (:mod:`repro.analysis.sanitizer`) checks protocols on the
+paths a test happens to execute, reproscan proves ordering contracts on
+**every** path, at merge time: it builds per-function control-flow
+graphs and a project call graph over ``src/repro``, then runs three
+interprocedural check families —
+
+* **DUR** — durability ordering: watermark stores, commit acks, and SST
+  extent registrations must be barrier-dominated (the static twin of
+  simsan's BA_SYNC rule);
+* **GEN** — process-generator discipline: kernel processes yield only
+  kernel events, never reach wall-clock sleeps, never yield in
+  ``finally`` (the PR-6 ``GeneratorExit`` hazard class);
+* **LOCK** — die-parallel locksets: die-shared state is mutated only
+  under a held request token or the post-release atomic tail.
+
+Run as ``repro scan``; see :mod:`repro.analysis.scan.cli` for the
+baseline/caching workflow and ``docs/static-analysis.md`` for the rule
+catalog.
+"""
+
+from repro.analysis.scan.checks import RULES, run_checks
+from repro.analysis.scan.cli import main, scan_paths
+from repro.analysis.scan.project import Project
+from repro.analysis.scan.report import Finding
+
+__all__ = ["RULES", "Finding", "Project", "main", "run_checks", "scan_paths"]

@@ -1,0 +1,322 @@
+"""Per-function control-flow graphs and a must-dataflow driver.
+
+reproscan's checks are all "does fact F definitely hold at point P"
+questions (a barrier dominates a publish, a die reservation is held at a
+mutation), so the CFG is statement-granular and the dataflow engine is a
+*must* analysis: facts meet by intersection at joins, and an unreachable
+node keeps the TOP fact.
+
+Modeling choices, deliberately simple and documented:
+
+* Compound statements (``if``/``while``/``for``/``with``) contribute one
+  node for their *header* expression; their bodies are linked as
+  successor subgraphs.  Transfer functions see only the header via
+  :func:`shallow_nodes`.
+* Exceptions: every statement inside a ``try`` body gets an edge to each
+  handler carrying the fact *before* the statement (an exception may
+  fire mid-statement, so its effects must not be assumed).  ``raise``
+  additionally edges to the function exit.
+* ``finally`` runs on the *normal* path only.  The exceptional pass
+  through ``finally`` re-raises — nothing downstream of the ``try``
+  executes — so publishes/mutations after the ``try`` never observe it,
+  and a publish *inside* ``finally`` on the exception path is left to
+  the runtime sanitizer (the pattern does not occur in this tree).
+* ``return`` edges straight to exit (skipping ``finally`` effects, which
+  can only matter to code a return never reaches) and is tagged so
+  callers can distinguish return paths from exceptional exits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+#: Edge kinds: NORMAL carries the predecessor's OUT fact, EXC carries its
+#: IN fact (effects may not have happened), RETURN marks a genuine
+#: return path into the exit node.
+NORMAL = "normal"
+EXC = "exc"
+RETURN = "return"
+
+
+@dataclass
+class Edge:
+    src: int
+    dst: int
+    label: Optional[str]  # "true"/"false" off a branch header, else None
+    kind: str = NORMAL
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph for one function body."""
+
+    entry: int = 0
+    exit: int = 1
+    stmts: dict[int, Optional[ast.AST]] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+
+    def preds(self) -> dict[int, list[Edge]]:
+        incoming: dict[int, list[Edge]] = {node: [] for node in self.stmts}
+        for edge in self.edges:
+            incoming[edge.dst].append(edge)
+        return incoming
+
+    def succs(self) -> dict[int, list[Edge]]:
+        outgoing: dict[int, list[Edge]] = {node: [] for node in self.stmts}
+        for edge in self.edges:
+            outgoing[edge.src].append(edge)
+        return outgoing
+
+    def return_edges(self) -> list[Edge]:
+        return [edge for edge in self.edges
+                if edge.dst == self.exit and edge.kind == RETURN]
+
+
+_Frontier = list[tuple[int, Optional[str]]]
+
+
+class _Builder:
+    """One-shot CFG construction over a function's statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.stmts[self.cfg.entry] = None
+        self.cfg.stmts[self.cfg.exit] = None
+        self._next_id = 2
+        # Stack of handler-node lists for enclosing ``try`` statements.
+        self._handlers: list[list[int]] = []
+        # Stack of (loop header id, break frontier) for break/continue.
+        self._loops: list[tuple[int, _Frontier]] = []
+
+    def build(self, fn: ast.AST) -> CFG:
+        frontier = self._seq(fn.body, [(self.cfg.entry, None)])
+        self._connect(frontier, self.cfg.exit, kind=RETURN)
+        return self.cfg
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _node(self, stmt: Optional[ast.AST]) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.cfg.stmts[node] = stmt
+        return node
+
+    def _connect(self, frontier: _Frontier, dst: int, kind: str = NORMAL) -> None:
+        for src, label in frontier:
+            self.cfg.edges.append(Edge(src, dst, label, kind))
+
+    def _exc_edges(self, node: int) -> None:
+        """An exception inside ``node`` may surface at any enclosing handler."""
+        for handler_nodes in self._handlers:
+            for handler in handler_nodes:
+                self.cfg.edges.append(Edge(node, handler, None, EXC))
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _seq(self, stmts: list[ast.stmt], frontier: _Frontier) -> _Frontier:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            self._exc_edges(node)
+            return self._seq(stmt.body, [(node, None)])
+        if isinstance(stmt, ast.Return):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            self.cfg.edges.append(Edge(node, self.cfg.exit, None, RETURN))
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            self._exc_edges(node)
+            self.cfg.edges.append(Edge(node, self.cfg.exit, None, EXC))
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            if self._loops:
+                self._loops[-1][1].append((node, None))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            if self._loops:
+                self.cfg.edges.append(Edge(node, self._loops[-1][0], None))
+            return []
+        # Simple statement (Assign, Expr, AugAssign, Assert, nested def, ...).
+        node = self._node(stmt)
+        self._connect(frontier, node)
+        self._exc_edges(node)
+        return [(node, None)]
+
+    def _if(self, stmt: ast.If, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt)
+        self._connect(frontier, header)
+        self._exc_edges(header)
+        body_out = self._seq(stmt.body, [(header, "true")])
+        if stmt.orelse:
+            else_out = self._seq(stmt.orelse, [(header, "false")])
+        else:
+            else_out = [(header, "false")]
+        return body_out + else_out
+
+    def _while(self, stmt: ast.While, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt)
+        self._connect(frontier, header)
+        self._exc_edges(header)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self._seq(stmt.body, [(header, "true")])
+        self._loops.pop()
+        self._connect(body_out, header)
+        infinite = (isinstance(stmt.test, ast.Constant) and stmt.test.value is True)
+        exits = [] if infinite else [(header, "false")]
+        return self._seq(stmt.orelse, exits) + breaks if stmt.orelse else exits + breaks
+
+    def _for(self, stmt: ast.For, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt)
+        self._connect(frontier, header)
+        self._exc_edges(header)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self._seq(stmt.body, [(header, "body")])
+        self._loops.pop()
+        self._connect(body_out, header)
+        exits: _Frontier = [(header, "exit")]
+        return self._seq(stmt.orelse, exits) + breaks if stmt.orelse else exits + breaks
+
+    def _try(self, stmt: ast.AST, frontier: _Frontier) -> _Frontier:
+        handler_nodes = [self._node(handler) for handler in stmt.handlers]
+        self._handlers.append(handler_nodes)
+        body_out = self._seq(stmt.body, frontier)
+        body_out = self._seq(stmt.orelse, body_out)
+        self._handlers.pop()
+        handler_out: _Frontier = []
+        for handler, node in zip(stmt.handlers, handler_nodes):
+            handler_out += self._seq(handler.body, [(node, None)])
+        normal = body_out + handler_out
+        if stmt.finalbody:
+            fin_entry = self._node(None)
+            self._connect(normal, fin_entry)
+            normal = self._seq(stmt.finalbody, [(fin_entry, None)])
+        return normal
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG for a FunctionDef/AsyncFunctionDef body."""
+    return _Builder().build(fn)
+
+
+# -- shallow statement inspection --------------------------------------------
+
+
+def shallow_nodes(stmt: Optional[ast.AST]) -> Iterator[ast.AST]:
+    """AST nodes a CFG node's transfer function may inspect.
+
+    For compound statements only the header expression is visible (the
+    body belongs to successor nodes); nested function/class definitions
+    are opaque (they are analyzed as their own functions).
+    """
+    if stmt is None:
+        return
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+        return
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.iter)
+        yield from ast.walk(stmt.target)
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+        return
+    if isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield from ast.walk(stmt.type)
+        return
+    yield from ast.walk(stmt)
+
+
+def scoped_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(fn: ast.AST) -> bool:
+    """True when the function body contains a scope-local yield."""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in scoped_walk(fn))
+
+
+# -- must-dataflow driver -----------------------------------------------------
+
+
+def must_fixpoint(
+    cfg: CFG,
+    entry_fact: object,
+    top: object,
+    transfer: Callable[[Optional[ast.AST], object], object],
+    meet: Callable[[object, object], object],
+    edge_refine: Optional[Callable[[Optional[ast.AST], Optional[str], object],
+                                   object]] = None,
+) -> tuple[dict[int, object], dict[int, object]]:
+    """Iterate a must-analysis to fixpoint; returns (IN, OUT) per node.
+
+    ``transfer`` maps a node's statement and IN fact to its OUT fact.
+    ``meet`` combines facts at joins (must = intersection-style).
+    ``edge_refine`` may strengthen the fact flowing along a labeled edge
+    (e.g. the true edge of a durable-watermark guard).
+    """
+    preds = cfg.preds()
+    succs = cfg.succs()
+    fact_in: dict[int, object] = {node: top for node in cfg.stmts}
+    fact_out: dict[int, object] = {node: top for node in cfg.stmts}
+    fact_in[cfg.entry] = entry_fact
+    fact_out[cfg.entry] = entry_fact
+    worklist = [node for node in cfg.stmts if node != cfg.entry]
+    pending = set(worklist)
+    while worklist:
+        node = worklist.pop(0)
+        pending.discard(node)
+        incoming = None
+        for edge in preds[node]:
+            base = fact_in[edge.src] if edge.kind == EXC else fact_out[edge.src]
+            if edge_refine is not None:
+                base = edge_refine(cfg.stmts[edge.src], edge.label, base)
+            incoming = base if incoming is None else meet(incoming, base)
+        if incoming is None:
+            incoming = top  # unreachable
+        new_out = transfer(cfg.stmts[node], incoming)
+        if incoming != fact_in[node] or new_out != fact_out[node]:
+            fact_in[node] = incoming
+            fact_out[node] = new_out
+            for edge in succs[node]:
+                if edge.dst not in pending and edge.dst != cfg.entry:
+                    pending.add(edge.dst)
+                    worklist.append(edge.dst)
+    return fact_in, fact_out

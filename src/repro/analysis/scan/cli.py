@@ -1,0 +1,143 @@
+"""``repro scan``: the reproscan command-line entry point.
+
+Exit codes: 0 clean (every finding baselined), 1 unbaselined findings or
+stale suppressions, 2 configuration errors (bad baseline, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Iterable, Optional
+
+from repro.analysis.scan import checks
+from repro.analysis.scan import report as rep
+from repro.analysis.scan.project import Project
+
+DEFAULT_BASELINE = "scan-baseline.json"
+DEFAULT_CACHE_DIR = ".repro-scan-cache"
+
+
+def _read_files(paths: Iterable[str]) -> list[tuple[pathlib.Path, str]]:
+    files: list[tuple[pathlib.Path, str]] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for file_path in sorted(path.rglob("*.py")):
+                files.append((file_path, file_path.read_text()))
+        elif path.suffix == ".py":
+            files.append((path, path.read_text()))
+    return files
+
+
+def scan_paths(paths: Iterable[str | pathlib.Path],
+               select: Optional[frozenset[str]] = None
+               ) -> list[rep.Finding]:
+    """Analyze every ``*.py`` under ``paths``; returns sorted findings."""
+    files = _read_files(str(p) for p in paths)
+    project = Project.load(files)
+    return checks.run_checks(project, select=select)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro scan",
+        description="Interprocedural CFG/dataflow analyzer: durability "
+                    "ordering, generator discipline, die-parallel locksets.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to scan "
+                             "(default: src/repro)")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="diagnostic output format")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=DEFAULT_BASELINE,
+                        help="suppression baseline file "
+                             f"(default: {DEFAULT_BASELINE}; missing = empty)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write every current finding to the baseline "
+                             "with a placeholder justification (the loader "
+                             "rejects placeholders until edited), then exit")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="incremental cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="analyze from scratch, ignoring the cache")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule ID and description, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, description in sorted(checks.RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = frozenset(token.strip().upper()
+                           for token in args.select.split(",") if token.strip())
+        unknown = select - set(checks.RULES)
+        if unknown:
+            print(f"repro scan: unknown rule IDs: "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    files = _read_files(args.paths)
+    if not files:
+        print("repro scan: no python files under "
+              f"{', '.join(args.paths)}", file=sys.stderr)
+        return 2
+
+    cache_dir = pathlib.Path(args.cache_dir or DEFAULT_CACHE_DIR)
+    cache_file = cache_dir / "results.json"
+    digest = rep.tree_digest(files, extra=",".join(sorted(select or ())))
+    findings: Optional[list[rep.Finding]] = None
+    cache_state = "off"
+    if not args.no_cache:
+        findings = rep.load_cached_findings(cache_file, digest)
+        cache_state = "hit" if findings is not None else "miss"
+    if findings is None:
+        project = Project.load(files)
+        for path, error in project.parse_errors:
+            print(f"{path}: E999 {error}", file=sys.stderr)
+        findings = checks.run_checks(project, select=select)
+        if not args.no_cache and not project.parse_errors:
+            rep.save_cached_findings(cache_file, digest, findings)
+
+    if args.write_baseline:
+        count = rep.write_baseline(findings, pathlib.Path(args.baseline))
+        print(f"repro scan: wrote {count} suppression(s) to {args.baseline}; "
+              "replace each placeholder justification before the gate "
+              "will accept them")
+        return 0
+
+    try:
+        baseline = rep.load_baseline(pathlib.Path(args.baseline))
+    except rep.BaselineError as exc:
+        print(f"repro scan: {exc}", file=sys.stderr)
+        return 2
+    active, suppressed, stale = rep.apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(rep.to_json(active))
+    elif args.format == "sarif":
+        print(rep.to_sarif(active, checks.RULES))
+    else:
+        for finding in active:
+            print(finding.format())
+        for fingerprint in stale:
+            entry = baseline[fingerprint]
+            print(f"stale suppression {fingerprint} "
+                  f"({entry.get('location', '?')}): finding no longer "
+                  "exists; remove it from the baseline")
+        print(f"reproscan: {len(active)} finding(s), "
+              f"{len(suppressed)} suppressed, {len(stale)} stale, "
+              f"{len(files)} file(s), cache {cache_state}")
+    return 1 if active or stale else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

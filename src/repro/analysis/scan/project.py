@@ -1,0 +1,255 @@
+"""Whole-program model: modules, functions, call graph, kernel seeding.
+
+Call resolution is deliberately *name-based* (class-hierarchy analysis
+degraded to method-name matching): ``obj.commit(...)`` resolves to every
+project function named ``commit``.  That is imprecise but the checks use
+it optimistically — a call "guarantees a barrier" when *any* candidate
+does — so name collisions cannot create false positives, and the seeded
+mutants (which drop barriers outright) are still caught.
+
+A function is a **kernel-process generator** when any of:
+
+* it is a generator annotated ``-> Iterator[Event]`` (the convention
+  every process in this tree follows);
+* a call anywhere in the project passes ``f(...)`` to a spawn point
+  (``engine.process``, ``engine.run_process``, ``Process(...)``,
+  ``Resource.acquire``);
+* a kernel generator delegates to it via ``yield from f(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.scan.cfg import CFG, build_cfg, is_generator, scoped_walk
+
+#: Attribute names that spawn a generator into the kernel.
+SPAWN_ATTRS = frozenset({"process", "run_process", "acquire"})
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str                       # best-effort dotted module name
+    path: str                       # path as given (posix, for diagnostics)
+    tree: ast.Module = field(repr=False, default=None)  # type: ignore[assignment]
+    imports: dict[str, str] = field(default_factory=dict)
+    source: str = field(repr=False, default="")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with lazily built CFG."""
+
+    module: ModuleInfo
+    node: ast.AST = field(repr=False, default=None)  # type: ignore[assignment]
+    name: str = ""
+    qualname: str = ""              # module.Class.method
+    class_name: Optional[str] = None
+    is_generator: bool = False
+    kernel: bool = False
+    _cfg: Optional[CFG] = field(default=None, repr=False)
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain through the module's imports."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.module.imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+def _module_name(path: pathlib.Path) -> str:
+    """Dotted module name: from the ``repro`` package root when under it."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def _annotation_is_kernel(fn: ast.AST) -> bool:
+    returns = getattr(fn, "returns", None)
+    if returns is None:
+        return False
+    try:
+        text = ast.unparse(returns)
+    except Exception:
+        return False
+    return ("Iterator[Event]" in text or "Generator[Event" in text
+            or "Iterable[Event]" in text)
+
+
+class Project:
+    """All modules under the scan roots, plus derived indices."""
+
+    def __init__(self) -> None:
+        self.modules: list[ModuleInfo] = []
+        self.functions: list[FunctionInfo] = []
+        # function/method name -> every FunctionInfo with that name
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        # (module name, class name, method name) -> FunctionInfo
+        self.methods: dict[tuple[str, str, str], FunctionInfo] = {}
+        self.parse_errors: list[tuple[str, str]] = []
+
+    # -- loading ------------------------------------------------------------
+
+    @classmethod
+    def load(cls, files: Iterable[tuple[pathlib.Path, str]]) -> "Project":
+        """Build a project from (path, source) pairs."""
+        project = cls()
+        for path, source in files:
+            posix = pathlib.PurePath(path).as_posix()
+            try:
+                tree = ast.parse(source, filename=posix)
+            except SyntaxError as exc:
+                project.parse_errors.append((posix, str(exc)))
+                continue
+            module = ModuleInfo(name=_module_name(pathlib.Path(path)),
+                                path=posix, tree=tree,
+                                imports=_collect_imports(tree), source=source)
+            project.modules.append(module)
+            project._collect_functions(module)
+        project._seed_kernel_generators()
+        return project
+
+    def _collect_functions(self, module: ModuleInfo) -> None:
+        def visit(node: ast.AST, class_name: Optional[str],
+                  prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}.{child.name}" if prefix else child.name
+                    info = FunctionInfo(
+                        module=module, node=child, name=child.name,
+                        qualname=f"{module.name}.{qual}",
+                        class_name=class_name,
+                        is_generator=is_generator(child),
+                    )
+                    self.functions.append(info)
+                    self.by_name.setdefault(child.name, []).append(info)
+                    if class_name is not None:
+                        self.methods[(module.name, class_name, child.name)] = info
+                    visit(child, class_name, qual)
+                elif isinstance(child, ast.ClassDef):
+                    cls_prefix = (f"{prefix}.{child.name}"
+                                  if prefix else child.name)
+                    visit(child, child.name, cls_prefix)
+                else:
+                    visit(child, class_name, prefix)
+
+        visit(module.tree, None, "")
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(self, call: ast.Call,
+                     caller: FunctionInfo) -> list[FunctionInfo]:
+        """Project functions a call may target (name-based, optimistic)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            dotted = caller.module.imports.get(func.id)
+            if dotted is not None:
+                leaf = dotted.rsplit(".", 1)[-1]
+                return [fn for fn in self.by_name.get(leaf, [])
+                        if fn.qualname.endswith(dotted)
+                        or fn.qualname == dotted]
+            return [fn for fn in self.by_name.get(func.id, [])
+                    if fn.class_name is None
+                    and fn.module.name == caller.module.name] or \
+                   [fn for fn in self.by_name.get(func.id, [])
+                    if fn.class_name is None]
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if (isinstance(func.value, ast.Name) and func.value.id == "self"
+                    and caller.class_name is not None):
+                own = self.methods.get(
+                    (caller.module.name, caller.class_name, attr))
+                if own is not None:
+                    return [own]
+            return self.by_name.get(attr, [])
+        return []
+
+    def calls_in(self, fn: FunctionInfo) -> list[ast.Call]:
+        return [node for node in scoped_walk(fn.node)
+                if isinstance(node, ast.Call)]
+
+    # -- kernel seeding -----------------------------------------------------
+
+    def _seed_kernel_generators(self) -> None:
+        for fn in self.functions:
+            if fn.is_generator and _annotation_is_kernel(fn.node):
+                fn.kernel = True
+        for fn in self.functions:
+            for call in self.calls_in(fn):
+                func = call.func
+                is_spawn = (
+                    (isinstance(func, ast.Attribute)
+                     and func.attr in SPAWN_ATTRS)
+                    or (isinstance(func, ast.Name) and func.id == "Process")
+                    or (isinstance(func, ast.Attribute)
+                        and func.attr == "Process")
+                )
+                if not is_spawn:
+                    continue
+                candidates = list(call.args)
+                candidates += [kw.value for kw in call.keywords]
+                for arg in candidates:
+                    if not isinstance(arg, ast.Call):
+                        continue
+                    for target in self.resolve_call(arg, fn):
+                        if target.is_generator:
+                            target.kernel = True
+        # Close over ``yield from`` delegation chains.
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions:
+                if not fn.kernel:
+                    continue
+                for node in scoped_walk(fn.node):
+                    if not isinstance(node, ast.YieldFrom):
+                        continue
+                    if not isinstance(node.value, ast.Call):
+                        continue
+                    for target in self.resolve_call(node.value, fn):
+                        if target.is_generator and not target.kernel:
+                            target.kernel = True
+                            changed = True
+
+    def kernel_generators(self) -> list[FunctionInfo]:
+        return [fn for fn in self.functions if fn.kernel]

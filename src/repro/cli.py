@@ -13,6 +13,7 @@
     python -m repro cluster              # replicated logging on a device pool
     python -m repro nemesis [--jobs N]   # fault-injection campaign matrix
     python -m repro lint [paths...]      # determinism/kernel/obs linter
+    python -m repro scan [paths...]      # interprocedural CFG/dataflow scan
     python -m repro <cmd> --sanitize     # run with the runtime sanitizer on
 
 Every experiment command accepts ``--sanitize`` (or ``REPRO_SANITIZE=1``)
@@ -403,6 +404,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis import lint
 
         return lint.main(argv[1:])
+    if argv and argv[0] == "scan":
+        # Likewise the whole-program analyzer (baseline/cache flags).
+        from repro.analysis.scan import cli as scan_cli
+
+        return scan_cli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="2B-SSD (ISCA 2018) reproduction: run paper experiments.",
@@ -411,6 +417,9 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
     lint_help = "lint src/repro for determinism/kernel/observability hazards"
     sub.add_parser("lint", help=lint_help, add_help=False)
+    scan_help = ("prove durability ordering, generator discipline, and "
+                 "die locksets interprocedurally")
+    sub.add_parser("scan", help=scan_help, add_help=False)
     for name, (_fn, help_text) in COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--quick", action="store_true",
@@ -487,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_fn, help_text) in COMMANDS.items():
             print(f"  {name:10s} {help_text}")
         print(f"  {'lint':10s} {lint_help}")
+        print(f"  {'scan':10s} {scan_help}")
         return 0
     from repro.analysis import sanitizer as simsan
 

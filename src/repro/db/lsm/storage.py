@@ -138,16 +138,21 @@ class DeviceTableStorage:
         sum-over-tables.  Crash safety is unchanged: the manifest naming
         these extents is only written after the barrier, so a crash
         mid-group leaves unreferenced pages, never a torn table.
+
+        The empty group returns up front so that every path reaching an
+        extent registration runs the flush barrier unconditionally —
+        the form reproscan's DUR002 must-analysis can prove.
         """
+        if not blobs:
+            return None
         extents = []
         for file_id, blob in blobs:
             npages = -(-len(blob) // self.page_size)
             extents.append((file_id, self._allocate(npages), npages, blob))
         procs = [self.engine.process(self.device.write(lpn, blob))
                  for _file_id, lpn, _npages, blob in extents]
-        if procs:
-            yield self.engine.all_of(procs)
-            yield self.engine.process(self.device.fsync())
+        yield self.engine.all_of(procs)
+        yield self.engine.process(self.device.fsync())
         for file_id, lpn, npages, _blob in extents:
             self._extents[file_id] = (lpn, npages)
         return None

@@ -10,3 +10,10 @@ def hazards(engine):
     if engine.now == 10.0:  # SIM104
         return True
     return False
+
+
+def leaky(engine, device):
+    try:
+        yield engine.timeout(1)
+    finally:
+        yield device.flush()  # SIM105: GeneratorExit lands on this yield

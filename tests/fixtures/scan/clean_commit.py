@@ -1,0 +1,86 @@
+"""Clean fixture: every contract pattern done right — zero findings.
+
+Exercises the no-false-positive machinery: the durable-watermark guard
+fast path, barrier-then-publish ordering, an interprocedural barrier
+(``commit`` called from a worker's ack path), extent registration after
+fsync, and a die-shared mutation in the post-release atomic tail.
+"""
+
+from typing import Iterator
+
+from repro.sim import Resource
+from repro.sim.engine import Event
+
+
+class CleanWAL:
+    def __init__(self, engine, api) -> None:
+        self.engine = engine
+        self.api = api
+        self._synced = 0
+        self._tail = 0
+
+    def commit(self, lsn: int) -> Iterator[Event]:
+        if lsn <= self._synced:
+            return None  # durable-guard fast path: already synced
+        target = self._tail
+        yield self.engine.process(self.api.ba_sync(0))
+        self._synced = max(self._synced, target)
+        return None
+
+
+class CleanWorker:
+    def __init__(self, engine, wal, queue) -> None:
+        self.engine = engine
+        self.wal = wal
+        self.queue = queue
+
+    def run(self) -> Iterator[Event]:
+        while True:
+            item = yield self.queue.get()
+            if item is None:
+                return None
+            lsn, ack = item
+            try:
+                # Interprocedural barrier: commit() syncs on every path.
+                yield self.engine.process(self.wal.commit(lsn))
+            except Exception as exc:  # noqa: BLE001 - forwarded to waiter
+                ack.fail(exc)
+            else:
+                ack.succeed()
+
+
+class CleanStorage:
+    def __init__(self, engine, device, page_size: int) -> None:
+        self.engine = engine
+        self.device = device
+        self.page_size = page_size
+        self._next_lpn = 8
+        self._extents: dict[int, tuple[int, int]] = {}
+
+    def write_table(self, file_id: int, blob: bytes) -> Iterator[Event]:
+        npages = -(-len(blob) // self.page_size)
+        lpn = self._next_lpn
+        self._next_lpn += npages
+        yield self.engine.process(self.device.write(lpn, blob))
+        yield self.engine.process(self.device.fsync())
+        self._extents[file_id] = (lpn, npages)
+        return None
+
+
+class CleanArray:
+    def __init__(self, engine, ndies: int) -> None:
+        self.engine = engine
+        self._dies = [Resource(engine) for _ in range(ndies)]
+        self._data: dict[int, bytes] = {}
+
+    def program_page(self, die_index: int, ppn: int,
+                     data: bytes) -> Iterator[Event]:
+        die_res = self._dies[die_index]
+        die_req = die_res.request()
+        yield die_req
+        try:
+            yield self.engine.timeout(1e-4)
+        finally:
+            die_res.release(die_req)
+        self._data[ppn] = data  # post-release atomic tail
+        return None

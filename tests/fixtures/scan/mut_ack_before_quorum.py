@@ -1,0 +1,29 @@
+"""Mutant: client ack succeeds before the quorum barrier completes.
+
+Expected: exactly one DUR001 at the ``ack.succeed()`` in ``commit``.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+class MutantReplicatedWAL:
+    def __init__(self, engine, legs, quorum: int) -> None:
+        self.engine = engine
+        self.legs = legs
+        self.quorum = quorum
+        self._quorum_durable = 0
+
+    def commit(self, lsn: int, ack) -> Iterator[Event]:
+        if lsn <= self._quorum_durable:
+            return None
+        ack.succeed()  # BUG: acknowledged before any replica confirmed
+        acks = [self.engine.event() for _leg in self.legs]
+        yield self.engine.process(self._await_quorum(acks))
+        self._quorum_durable = max(self._quorum_durable, lsn)
+        return None
+
+    def _await_quorum(self, acks) -> Iterator[Event]:
+        yield self.engine.all_of(acks)
+        return None

@@ -1,0 +1,16 @@
+"""Mutant: a kernel process yields a bare (non-event) value.
+
+Expected: exactly one GEN001 at the bare ``yield`` in ``pump``.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+def pump(engine, queue) -> Iterator[Event]:
+    while True:
+        item = yield queue.get()
+        if item is None:
+            return None
+        yield  # BUG: the kernel has nothing to schedule; the process starves

@@ -1,0 +1,30 @@
+"""Mutant: the flush barrier before the manifest-extent publish was dropped.
+
+Expected: exactly one DUR002 at the ``_extents`` store in ``write_table``.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+class MutantTableStorage:
+    def __init__(self, engine, device, page_size: int) -> None:
+        self.engine = engine
+        self.device = device
+        self.page_size = page_size
+        self._next_lpn = 8
+        self._extents: dict[int, tuple[int, int]] = {}
+
+    def _allocate(self, npages: int) -> int:
+        lpn = self._next_lpn
+        self._next_lpn += npages
+        return lpn
+
+    def write_table(self, file_id: int, blob: bytes) -> Iterator[Event]:
+        npages = -(-len(blob) // self.page_size)
+        lpn = self._allocate(npages)
+        yield self.engine.process(self.device.write(lpn, blob))
+        # BUG: no fsync; a crash here leaves the manifest naming torn pages.
+        self._extents[file_id] = (lpn, npages)
+        return None

@@ -1,0 +1,32 @@
+"""Mutant: a yield between the die release and the state mutation.
+
+Expected: exactly one LOCK001 at the ``_data`` store.  The post-release
+tail is atomic only up to the next yield — ``Resource.release`` defers
+waiter wake-ups, so code until the next yield runs under mutual
+exclusion, but yielding hands the die's next holder the CPU first.
+"""
+
+from typing import Iterator
+
+from repro.sim import Resource
+from repro.sim.engine import Event
+
+
+class MutantArray:
+    def __init__(self, engine, ndies: int) -> None:
+        self.engine = engine
+        self._dies = [Resource(engine) for _ in range(ndies)]
+        self._data: dict[int, bytes] = {}
+
+    def program_page(self, die_index: int, ppn: int,
+                     data: bytes) -> Iterator[Event]:
+        die_res = self._dies[die_index]
+        die_req = die_res.request()
+        yield die_req
+        try:
+            yield self.engine.timeout(1e-4)
+        finally:
+            die_res.release(die_req)
+        yield self.engine.timeout(1e-6)  # BUG: atomic tail broken here
+        self._data[ppn] = data
+        return None

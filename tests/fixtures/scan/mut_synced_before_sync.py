@@ -1,0 +1,29 @@
+"""Mutant: durable watermark published before the BA_SYNC barrier.
+
+Expected: exactly one DUR001 at the ``_synced`` store in ``commit``.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+class MutantBaWAL:
+    def __init__(self, engine, api) -> None:
+        self.engine = engine
+        self.api = api
+        self._synced = 0
+        self._tail = 0
+
+    def commit(self, lsn: int) -> Iterator[Event]:
+        if lsn <= self._synced:
+            return None
+        target = self._tail
+        self._synced = max(self._synced, target)  # BUG: ack'd pre-barrier
+        yield self.engine.process(self.api.ba_sync(0))
+        return None
+
+
+def drive(engine, wal, lsn) -> Iterator[Event]:
+    yield engine.process(wal.commit(lsn))
+    return None

@@ -1,0 +1,36 @@
+"""Mutant: die-shared page store mutated without holding the die.
+
+Expected: exactly one LOCK001 at the ``_data`` store in
+``program_page_racy``; the properly guarded ``program_page`` in the same
+module must stay clean (no false positive on the correct pattern).
+"""
+
+from typing import Iterator
+
+from repro.sim import Resource
+from repro.sim.engine import Event
+
+
+class MutantArray:
+    def __init__(self, engine, ndies: int) -> None:
+        self.engine = engine
+        self._dies = [Resource(engine) for _ in range(ndies)]
+        self._data: dict[int, bytes] = {}
+
+    def program_page(self, die_index: int, ppn: int,
+                     data: bytes) -> Iterator[Event]:
+        die_res = self._dies[die_index]
+        die_req = die_res.request()
+        yield die_req
+        try:
+            yield self.engine.timeout(1e-4)
+        finally:
+            die_res.release(die_req)
+        self._data[ppn] = data  # OK: post-release atomic tail
+        return None
+
+    def program_page_racy(self, die_index: int, ppn: int,
+                          data: bytes) -> Iterator[Event]:
+        yield self.engine.timeout(1e-4)
+        self._data[ppn] = data  # BUG: die-shared map, no reservation held
+        return None

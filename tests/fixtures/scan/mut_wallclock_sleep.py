@@ -1,0 +1,28 @@
+"""Mutant: a wall-clock sleep two calls away from a kernel process.
+
+Expected: exactly one GEN002 on ``run`` (the kernel generator), with
+the sleeper reached through ``_throttle -> _backoff``.
+"""
+
+import time
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+def _backoff(delay: float) -> None:
+    time.sleep(delay)  # wall-clock block, invisible to the sim kernel
+
+
+def _throttle(delay: float) -> None:
+    _backoff(delay)
+
+
+class MutantPump:
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def run(self) -> Iterator[Event]:
+        yield self.engine.timeout(1.0)
+        _throttle(0.01)  # BUG: blocks every co-scheduled process for real
+        return None

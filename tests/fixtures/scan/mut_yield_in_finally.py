@@ -1,0 +1,20 @@
+"""Mutant: a generator yields inside its finally suite.
+
+Expected: exactly one GEN003 at the yield in the ``finally``.  When the
+kernel closes the generator (crash purge, AnyOf loser), GeneratorExit
+is delivered at the current yield; resuming execution lands in the
+finally, and the yield there either raises RuntimeError or silently
+abandons the cleanup — the PR-6 tracing-leak hazard class.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+def flush_on_exit(engine, device) -> Iterator[Event]:
+    try:
+        yield engine.process(device.write(0, b"x"))
+    finally:
+        yield engine.process(device.flush())  # BUG: GeneratorExit lands here
+    return None

@@ -75,7 +75,7 @@ class TestDetRules:
 class TestSimRules:
     def test_sim_rules_on_fixture(self):
         assert rules_in(FIXTURES / "bad_sim.py") == {
-            "SIM101", "SIM102", "SIM103", "SIM104",
+            "SIM101", "SIM102", "SIM103", "SIM104", "SIM105",
         }
 
     def test_discarded_timeout_flagged_but_yielded_is_not(self):
@@ -89,6 +89,46 @@ class TestSimRules:
         good = "done = engine.now >= 5.0\n"
         assert {v.rule for v in lint.lint_source(bad)} == {"SIM104"}
         assert lint.lint_source(good) == []
+
+    def test_yield_in_finally_flagged_only_for_generators(self):
+        bad = (
+            "def p(engine):\n"
+            "    try:\n"
+            "        yield engine.timeout(1)\n"
+            "    finally:\n"
+            "        yield engine.timeout(2)\n"
+        )
+        assert {v.rule for v in lint.lint_source(bad)} == {"SIM105"}
+        # A plain function's finally has no GeneratorExit hazard.
+        plain = (
+            "def f(res, req):\n"
+            "    try:\n"
+            "        res.use(req)\n"
+            "    finally:\n"
+            "        res.release(req)\n"
+        )
+        assert lint.lint_source(plain) == []
+
+    def test_yield_in_try_body_or_nested_def_is_clean(self):
+        try_body = (
+            "def p(engine, res, req):\n"
+            "    try:\n"
+            "        yield engine.timeout(1)\n"
+            "    finally:\n"
+            "        res.release(req)\n"
+        )
+        assert lint.lint_source(try_body) == []
+        # A nested generator inside the finally is its own scope.
+        nested = (
+            "def p(engine):\n"
+            "    try:\n"
+            "        yield engine.timeout(1)\n"
+            "    finally:\n"
+            "        def inner(e):\n"
+            "            yield e.timeout(2)\n"
+            "        register(inner)\n"
+        )
+        assert lint.lint_source(nested) == []
 
 
 class TestObsRules:
