@@ -47,6 +47,9 @@ else
     echo "==> mypy: not installed, skipping (baseline in pyproject.toml)"
 fi
 
+step "gateway serving golden (byte-identical fixture)" \
+    python -m repro.bench.golden gateway_serving
+
 if [ "$fast" = 1 ]; then
     step "tier-1 tests (fast: no soak)" python -m pytest -x -q -m "not soak" tests/
 else

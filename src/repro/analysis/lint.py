@@ -75,7 +75,7 @@ RULES: dict[str, str] = {
 #: the complete span-name index.
 SPAN_NAMESPACES: frozenset[str] = frozenset({
     "core", "host", "pcie", "ssd", "nand", "ftl", "wal", "fs", "db",
-    "cluster",
+    "cluster", "gateway",
 })
 
 #: Path-pattern exemptions (fnmatch on the posix path), each justified:

@@ -207,12 +207,39 @@ def scenario_nemesis_campaign() -> dict:
     return run_campaign(CAMPAIGNS["golden-3node"])
 
 
+def scenario_gateway_serving() -> dict:
+    """The serving front door on a 3-node pool, 64 clients (seed 909).
+
+    Pipelined mixed commands multiplexed onto per-node shard queues with
+    WAL-first quorum commits, plus a mid-run backpressure episode: tiny
+    64-byte socket buffers and two slowloris readers fill the reply
+    pipes, stall the connection writers, exhaust the pipelining windows,
+    and push back through the shard queues to every sender — the whole
+    flow-control chain, byte-for-byte.  The fixture folds in the merged
+    pool stats, every gateway span histogram, and the serving counters.
+    """
+    from repro.cluster import DevicePool
+    from repro.gateway.driver import run_serving
+    from repro.obs import tracing
+
+    with tracing.activated() as tracer:
+        pool = DevicePool(devices=3, seed=909)
+        result = run_serving(pool, clients=64, commands_per_client=12,
+                             pipeline_depth=8, queue_depth=8,
+                             socket_buffer_bytes=64,
+                             slow_clients=2, slow_recv_delay=2e-4)
+        report = pool.collect_stats(tracer=tracer)
+    report["serving"] = result.to_dict()
+    return report
+
+
 SCENARIOS: dict[str, Callable[[], dict]] = {
     "ba_datapath": scenario_ba_datapath,
     "ycsb_bawal": scenario_ycsb_bawal,
     "block_gc": scenario_block_gc,
     "cluster_replicated": scenario_cluster_replicated,
     "nemesis_campaign": scenario_nemesis_campaign,
+    "gateway_serving": scenario_gateway_serving,
 }
 
 

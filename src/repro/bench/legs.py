@@ -317,7 +317,8 @@ def golden_matrix() -> list[Leg]:
     legs = [
         leg(f"golden:{name}", f"{_HERE}:golden_leg", name=name)
         for name in ("ba_datapath", "ycsb_bawal", "block_gc",
-                     "cluster_replicated", "nemesis_campaign")
+                     "cluster_replicated", "nemesis_campaign",
+                     "gateway_serving")
     ]
     legs.extend(
         leg(f"sweep:lba{lba}-n{npages}", f"{_HERE}:sweep_leg", warm=warm,

@@ -68,6 +68,13 @@ TARGETS = {
     # single-barrier storage writes measure ~704 MB/s vs ~479 MB/s for
     # per-table write+fsync; the floor keeps most of that win.
     "compaction_mb_per_sec_min": 650.0,
+    # Gateway saturation sweep: every leg — including the 2048-client
+    # point — must finish inside this wall-clock budget (measured ~1.8 s
+    # at the sweep's largest point on the committing machine), and the
+    # saturated throughput (simulated, deterministic) must hold the
+    # floor below the measured ~172k commands/s plateau.
+    "gateway_leg_wall_max_seconds": 30.0,
+    "gateway_throughput_min": 150_000.0,
 }
 
 #: The fixed client load the cluster-scaling section applies to every
@@ -244,6 +251,69 @@ def run_runner_section(jobs: int = 4,
     }
 
 
+def run_gateway_section(snapshot_cache: str | pathlib.Path | None = None) -> dict:
+    """The gateway saturation sweep: clients x pipeline-depth, per-leg gated.
+
+    Each sweep point runs as its own single-leg matrix on the run-matrix
+    executor so the executor's own ``wall_seconds`` is the per-leg wall
+    clock; all points share one :class:`SnapshotCache`, so the warm
+    3-device ``DevicePool`` snapshot is built exactly once and every leg
+    forks from it.  Throughput and stage percentiles are simulated time
+    (deterministic); the per-leg gate is wall time (machine-dependent,
+    ceiling set with headroom).
+    """
+    from repro.bench.runner import SnapshotCache, run_legs
+    from repro.gateway.legs import gateway_matrix
+
+    cache = SnapshotCache(snapshot_cache)
+    legs = {}
+    curve = []
+    gates = []
+    max_clients = 0
+    for entry in gateway_matrix():
+        report = run_legs([entry], jobs=1, snapshot_cache=cache)
+        result = report.results[entry.leg_id]
+        wall = round(report.wall_seconds, 3)
+        max_clients = max(max_clients, result["clients"])
+        legs[entry.leg_id] = {
+            "clients": result["clients"],
+            "pipeline_depth": result["pipeline_depth"],
+            "commands": result["commands"],
+            "throughput": round(result["throughput"], 1),
+            "sim_seconds": result["sim_seconds"],
+            "wall_seconds": wall,
+            "stages": result["stages"],
+            "server": result["server"],
+        }
+        curve.append({
+            "clients": result["clients"],
+            "pipeline_depth": result["pipeline_depth"],
+            "throughput": round(result["throughput"], 1),
+        })
+        gates.append({
+            "leg": entry.leg_id,
+            "observed": wall,
+            "max": TARGETS["gateway_leg_wall_max_seconds"],
+            "ok": wall <= TARGETS["gateway_leg_wall_max_seconds"],
+        })
+    saturated = max(point["throughput"] for point in curve)
+    gates.append({
+        "leg": "gateway:throughput",
+        "observed": saturated,
+        "min": TARGETS["gateway_throughput_min"],
+        "ok": saturated >= TARGETS["gateway_throughput_min"],
+    })
+    return {
+        "legs": legs,
+        "curve": curve,
+        "max_clients": max_clients,
+        "saturated_throughput": saturated,
+        "snapshot_cache": cache.counters(),
+        "leg_gates": gates,
+        "pass": all(gate["ok"] for gate in gates),
+    }
+
+
 def run_harness(skip_figs: bool = False, jobs: int = 4,
                 snapshot_cache: str | pathlib.Path | None = None) -> dict:
     """Measure everything; returns the BENCH_wallclock.json payload."""
@@ -312,6 +382,9 @@ def run_harness(skip_figs: bool = False, jobs: int = 4,
             and runner["sweep"]["speedup"] >= TARGETS["runner_sweep_speedup_min"]
             and runner["deterministic"]
         )
+        gateway = run_gateway_section(snapshot_cache=snapshot_cache)
+        results["gateway"] = gateway
+        passed = passed and gateway["pass"]
     results["cluster"] = run_cluster_scaling()
     passed = passed and (
         results["cluster"]["scaling_1_to_4"] >= TARGETS["cluster_scaling_min"]
@@ -362,6 +435,20 @@ def validate_report(payload: dict) -> None:
             if not isinstance(gate.get("ok"), bool):
                 raise ValueError(
                     f"leg_gates[{gate.get('leg')!r}].ok missing or non-bool")
+    gateway = payload["results"].get("gateway")
+    if gateway is not None:
+        for key in ("max_clients", "saturated_throughput"):
+            if not isinstance(gateway.get(key), (int, float)):
+                raise ValueError(f"results.gateway.{key} missing or non-numeric")
+        if not isinstance(gateway.get("curve"), list) or not gateway["curve"]:
+            raise ValueError("results.gateway.curve missing or empty")
+        if not isinstance(gateway.get("pass"), bool):
+            raise ValueError("results.gateway.pass missing or non-bool")
+        for gate in gateway.get("leg_gates", ()):
+            if not isinstance(gate.get("ok"), bool):
+                raise ValueError(
+                    f"gateway leg_gates[{gate.get('leg')!r}].ok missing "
+                    "or non-bool")
     runner = payload["results"].get("runner")
     if runner is not None:
         for key in ("matrix_speedup", "serial_seconds", "parallel_seconds"):
@@ -417,6 +504,25 @@ def format_report(payload: dict) -> str:
             f"gate       : {gate['leg']} {gate['observed']:.3f}{unit} vs "
             f"{gate['min']:.2f}{unit} floor "
             f"({'ok' if gate['ok'] else 'FAIL'})")
+    gateway = payload["results"].get("gateway")
+    if gateway:
+        lines.append(
+            f"gateway    : {gateway['saturated_throughput']:>12,.0f} "
+            f"commands/s simulated at saturation "
+            f"({gateway['max_clients']} clients max, "
+            f"{len(gateway['curve'])} sweep points, "
+            f"gates {'ok' if gateway['pass'] else 'FAIL'})")
+        for gate in gateway["leg_gates"]:
+            floor = gate.get("min")
+            if floor is not None:
+                lines.append(
+                    f"gate       : {gate['leg']} {gate['observed']:,.0f}/s vs "
+                    f"{floor:,.0f}/s floor ({'ok' if gate['ok'] else 'FAIL'})")
+            else:
+                lines.append(
+                    f"gate       : {gate['leg']} {gate['observed']:.2f}s wall "
+                    f"vs {gate['max']:.0f}s ceiling "
+                    f"({'ok' if gate['ok'] else 'FAIL'})")
     runner = payload["results"].get("runner")
     if runner:
         lines.append(

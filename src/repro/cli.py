@@ -346,6 +346,62 @@ def _cmd_perf(args) -> int:
     return 0 if payload["pass"] else 1
 
 
+def _cmd_serve(args) -> int:
+    """Serve the gateway protocol on a real TCP socket (asyncio bridge)."""
+    from repro.gateway.tcp import serve_forever
+
+    return serve_forever(args.host, args.port, nodes=args.nodes, rf=args.rf,
+                         pipeline_depth=args.pipeline_depth,
+                         max_conns=args.max_conns, seed=args.seed)
+
+
+def _cmd_gateway_bench(args) -> int:
+    """Run the gateway saturation sweep: one leg, or the gated section."""
+    import json
+
+    from repro.bench import wallclock
+    from repro.gateway.legs import gateway_matrix
+
+    if args.list_legs:
+        rows = [
+            (entry.leg_id, kwargs["clients"], kwargs["pipeline_depth"],
+             kwargs["commands"])
+            for entry in gateway_matrix()
+            for kwargs in (dict(entry.kwargs),)
+        ]
+        print(format_table("Gateway saturation legs",
+                           ["leg", "clients", "depth", "cmds/client"], rows))
+        return 0
+    if args.leg is not None:
+        from repro.bench.runner import SnapshotCache, run_legs
+
+        matrix = {entry.leg_id: entry for entry in gateway_matrix()}
+        if args.leg not in matrix:
+            print(f"unknown leg {args.leg!r}; --list shows the sweep")
+            return 2
+        report = run_legs([matrix[args.leg]], jobs=1,
+                          snapshot_cache=SnapshotCache(args.snapshot_cache))
+        print(json.dumps(report.results[args.leg], sort_keys=True, indent=1))
+        return 0
+    section = wallclock.run_gateway_section(snapshot_cache=args.snapshot_cache)
+    rows = [
+        (leg_id, info["clients"], info["pipeline_depth"],
+         f"{info['throughput']:,.0f}", f"{info['wall_seconds']:.2f}")
+        for leg_id, info in section["legs"].items()
+    ]
+    print(format_table(
+        f"Gateway saturation sweep (max {section['max_clients']} clients)",
+        ["leg", "clients", "depth", "cmds/s (sim)", "wall s"], rows))
+    print()
+    for gate in section["leg_gates"]:
+        bound = (f">= {gate['min']:,.0f}/s" if "min" in gate
+                 else f"<= {gate['max']:.0f}s wall")
+        print(f"gate {gate['leg']}: {gate['observed']} ({bound}) "
+              f"{'ok' if gate['ok'] else 'FAIL'}")
+    print(f"gates: {'ok' if section['pass'] else 'FAIL'}")
+    return 0 if section["pass"] else 1
+
+
 def _cmd_report(args) -> None:
     """Run every experiment and write a single markdown report."""
     import contextlib
@@ -392,6 +448,8 @@ COMMANDS = {
     "nemesis": (_cmd_nemesis, "run fault-injection campaigns with the "
                               "streaming analyzer"),
     "perf": (_cmd_perf, "measure wall-clock perf; write BENCH_wallclock.json"),
+    "serve": (_cmd_serve, "serve the gateway protocol on a TCP socket"),
+    "gateway-bench": (_cmd_gateway_bench, "run the gateway saturation sweep"),
     "report": (_cmd_report, "run everything and write a markdown report"),
 }
 
@@ -450,6 +508,31 @@ def main(argv: list[str] | None = None) -> int:
                              default=25,
                              help="rows to print with --profile "
                                   "(default 25)")
+        if name == "serve":
+            cmd.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+            cmd.add_argument("--port", type=int, default=7379,
+                             help="bind port (default 7379)")
+            cmd.add_argument("--nodes", type=int, default=3,
+                             help="device-pool size (default 3)")
+            cmd.add_argument("--rf", type=int, default=2,
+                             help="replicas per shard stream incl. primary "
+                                  "(default 2)")
+            cmd.add_argument("--pipeline-depth", type=int, default=8,
+                             help="in-flight commands per connection "
+                                  "(default 8)")
+            cmd.add_argument("--max-conns", type=int, default=4096,
+                             help="connection limit (default 4096)")
+            cmd.add_argument("--seed", type=int, default=11,
+                             help="pool seed (default 11)")
+        if name == "gateway-bench":
+            cmd.add_argument("--list", dest="list_legs", action="store_true",
+                             help="list the sweep legs and exit")
+            cmd.add_argument("--leg", metavar="LEG", default=None,
+                             help="run one sweep leg and print its JSON "
+                                  "result")
+            cmd.add_argument("--snapshot-cache", metavar="DIR", default=None,
+                             help="persist the warm pool snapshot under DIR")
         if name == "cluster":
             cmd.add_argument("--devices", type=int, default=4,
                              help="pool size (default 4)")

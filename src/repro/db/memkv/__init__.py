@@ -1,6 +1,27 @@
 """Redis-like in-memory key-value store with an append-only file (AOF)."""
 
-from repro.db.memkv.commands import Command, decode_command, encode_command
+from repro.db.memkv.commands import (
+    Command,
+    Reply,
+    WRITE_COMMANDS,
+    decode_command,
+    decode_reply,
+    decode_value,
+    encode_command,
+    encode_reply,
+    encode_value,
+)
 from repro.db.memkv.store import MemKV
 
-__all__ = ["Command", "MemKV", "decode_command", "encode_command"]
+__all__ = [
+    "Command",
+    "MemKV",
+    "Reply",
+    "WRITE_COMMANDS",
+    "decode_command",
+    "decode_reply",
+    "decode_value",
+    "encode_command",
+    "encode_reply",
+    "encode_value",
+]

@@ -1,18 +1,29 @@
-"""AOF command wire format.
+"""AOF command wire format and the typed reply frames.
 
 Redis's AOF logs every write command it executes; replaying the file
 rebuilds the dataset.  We encode commands as
 ``[op u8][key_len u16][key][value]`` — compact enough that the AOF record
 size tracks the payload size, which is what Fig. 9(c)'s payload sweep
 measures.
+
+The same command encoding doubles as the request body of the gateway
+wire protocol (:mod:`repro.gateway.protocol` adds the length-prefixed
+framing), which is why :class:`Command` also carries the read op ``GET``
+— reads flow over the wire but are never appended to the AOF.  Replies
+travel as ``[status u8][payload]``: ``OK`` for acknowledged writes,
+``VALUE`` for read results (with a one-byte presence flag so an empty
+value and a missing key stay distinguishable), ``ERR`` for protocol or
+execution errors with a human-readable message payload.
 """
 
 from __future__ import annotations
 
 import enum
 import struct
+from typing import Optional
 
 _HEADER = struct.Struct("<BH")
+_REPLY_HEADER = struct.Struct("<B")
 
 
 class Command(enum.Enum):
@@ -20,6 +31,21 @@ class Command(enum.Enum):
     DEL = 2
     APPEND = 3
     INCR = 4
+    GET = 5
+
+
+#: Commands that mutate the store and therefore reach the AOF.  ``GET``
+#: is wire-only: recovery never sees it.
+WRITE_COMMANDS = frozenset({Command.SET, Command.DEL, Command.APPEND,
+                            Command.INCR})
+
+
+class Reply(enum.Enum):
+    """Typed reply frames the gateway sends back over the wire."""
+
+    OK = 1
+    VALUE = 2
+    ERR = 3
 
 
 def encode_command(command: Command, key: str, value: bytes = b"") -> bytes:
@@ -36,5 +62,45 @@ def decode_command(data: bytes) -> tuple[Command, str, bytes]:
     key_end = _HEADER.size + key_len
     if key_end > len(data):
         raise ValueError("truncated AOF key")
+    try:
+        command = Command(op)
+    except ValueError:
+        raise ValueError(f"unknown command opcode {op}") from None
     key = data[_HEADER.size:key_end].decode()
-    return Command(op), key, bytes(data[key_end:])
+    return command, key, bytes(data[key_end:])
+
+
+def encode_reply(reply: Reply, payload: bytes = b"") -> bytes:
+    """One reply body: ``[status u8][payload]`` (framing is the caller's)."""
+    return _REPLY_HEADER.pack(reply.value) + payload
+
+
+def decode_reply(data: bytes) -> tuple[Reply, bytes]:
+    if len(data) < _REPLY_HEADER.size:
+        raise ValueError("truncated reply")
+    (status,) = _REPLY_HEADER.unpack_from(data)
+    try:
+        reply = Reply(status)
+    except ValueError:
+        raise ValueError(f"unknown reply status {status}") from None
+    return reply, bytes(data[_REPLY_HEADER.size:])
+
+
+def encode_value(value: Optional[bytes]) -> bytes:
+    """``VALUE`` payload: ``\\x01`` + bytes for a hit, ``\\x00`` for a miss
+    (an empty value and a missing key must stay distinguishable)."""
+    if value is None:
+        return b"\x00"
+    return b"\x01" + value
+
+
+def decode_value(payload: bytes) -> Optional[bytes]:
+    if not payload:
+        raise ValueError("VALUE payload missing its presence flag")
+    if payload[0] == 0:
+        if len(payload) != 1:
+            raise ValueError("VALUE miss carries trailing bytes")
+        return None
+    if payload[0] != 1:
+        raise ValueError(f"unknown VALUE presence flag {payload[0]}")
+    return bytes(payload[1:])

@@ -1,0 +1,61 @@
+"""Serving front door: wire protocol, pipelining, backpressure, WAL-first.
+
+Two faces over one protocol core (:mod:`repro.gateway.protocol`):
+
+* :class:`~repro.gateway.server.GatewayServer` — the deterministic
+  in-engine server; simulated connections are kernel processes
+  (:mod:`repro.gateway.driver` supplies the client fleet);
+* :mod:`repro.gateway.tcp` — the thin real-asyncio TCP bridge behind
+  ``repro serve``.
+
+See ``docs/gateway.md`` for the frame layout and the backpressure /
+WAL-first commit state machine.
+"""
+
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_KEY_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    decode_reply_frame,
+    decode_request,
+    encode_frame,
+    encode_reply_frame,
+    encode_request,
+)
+from repro.gateway.server import (
+    BoundedQueue,
+    Connection,
+    GatewayConfig,
+    GatewayError,
+    GatewayServer,
+    SimPipe,
+)
+from repro.gateway.driver import (
+    GatewayLoad,
+    GatewayRunResult,
+    decode_gateway_record,
+    run_serving,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "Connection",
+    "FrameDecoder",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayLoad",
+    "GatewayRunResult",
+    "GatewayServer",
+    "MAX_FRAME_BYTES",
+    "MAX_KEY_BYTES",
+    "ProtocolError",
+    "SimPipe",
+    "decode_gateway_record",
+    "decode_reply_frame",
+    "decode_request",
+    "encode_frame",
+    "encode_reply_frame",
+    "encode_request",
+    "run_serving",
+]

@@ -1,0 +1,114 @@
+"""The saturation bench: gateway serving legs on the run-matrix executor.
+
+One shared warm-up (a short serving burst on a 3-device pool, streams
+closed, caches drained) is captured once via ``DevicePool.snapshot()``
+and forked into every sweep point, so the clients x pipeline-depth
+saturation curve pays for pool construction exactly once per run.  Each
+leg returns the serving result plus histogram-sourced p50/p999 for every
+pipeline stage — the numbers the ``gateway`` section of
+``BENCH_wallclock.json`` reports and gates on.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import Leg, WarmSpec, leg
+
+_HERE = "repro.gateway.legs"
+
+#: Every simulated-latency stage the server and the client fleet span.
+GATEWAY_STAGES = (
+    "gateway.conn.accept",
+    "gateway.frame.parse",
+    "gateway.queue.wait",
+    "gateway.wal.append",
+    "gateway.wal.quorum",
+    "gateway.reply.write",
+    "gateway.client.rtt",
+)
+
+#: The saturation sweep: (clients, pipeline_depth, commands_per_client).
+#: Commands scale down as the fleet grows so every point runs a
+#: comparable total command count; the 2048-client point is the
+#: acceptance criterion's >= 2,000 concurrent connections.
+SATURATION_SWEEP = (
+    (4, 1, 16),
+    (16, 4, 16),
+    (64, 1, 16),
+    (64, 8, 16),
+    (256, 8, 8),
+    (512, 8, 8),
+    (1024, 16, 4),
+    (2048, 16, 4),
+)
+
+
+def build_gateway_pool(seed: int = 909, devices: int = 3):
+    from repro.cluster import DevicePool
+
+    return DevicePool(devices=devices, seed=seed)
+
+
+def warm_gateway_pool(pool, seed: int = 909, devices: int = 3) -> None:
+    """Warm a pool to a snapshot-able state: one short serving burst
+    (shard streams opened, WAL segments cycled, caches touched), then
+    streams closed, devices drained, kernel quiescent."""
+    from repro.gateway.driver import run_serving
+
+    run_serving(pool, clients=8, commands_per_client=4, pipeline_depth=4,
+                queue_depth=8, replicas=2)
+    for name in list(pool.streams):
+        pool.engine.run_process(pool.close_stream(name))
+    for node in pool.nodes.values():
+        pool.engine.run_process(node.platform.device.drain())
+    pool.engine.run()
+
+
+def stage_latencies(tracer) -> dict:
+    """Histogram-sourced p50/p999 (simulated seconds) per pipeline stage."""
+    stages = {}
+    for name in GATEWAY_STAGES:
+        histogram = tracer.histograms.get(name)
+        if histogram is None or not len(histogram):
+            continue
+        stages[name] = {
+            "count": len(histogram),
+            "p50": histogram.percentile(50),
+            "p999": histogram.percentile(99.9),
+        }
+    return stages
+
+
+def serving_leg(pool, clients: int = 64, commands: int = 8,
+                pipeline_depth: int = 8, queue_depth: int = 16,
+                replicas: int = 2) -> dict:
+    """One saturation point: serve the full fleet, report throughput and
+    per-stage latency percentiles (all simulated time — deterministic)."""
+    from repro.gateway.driver import run_serving
+    from repro.obs import tracing
+
+    with tracing.activated() as tracer:
+        result = run_serving(pool, clients=clients,
+                             commands_per_client=commands,
+                             pipeline_depth=pipeline_depth,
+                             queue_depth=queue_depth, replicas=replicas)
+    payload = result.to_dict()
+    payload["pipeline_depth"] = pipeline_depth
+    payload["stages"] = stage_latencies(tracer)
+    return payload
+
+
+_GATEWAY_WARM = WarmSpec(
+    build=f"{_HERE}:build_gateway_pool",
+    warm=f"{_HERE}:warm_gateway_pool",
+    kwargs=(("devices", 3), ("seed", 909)),
+)
+
+
+def gateway_matrix(sweep=SATURATION_SWEEP) -> list[Leg]:
+    """The clients x pipeline-depth saturation sweep as runner legs."""
+    return [
+        leg(f"gateway:c{clients}xd{depth}", f"{_HERE}:serving_leg",
+            warm=_GATEWAY_WARM, clients=clients, commands=commands,
+            pipeline_depth=depth)
+        for clients, depth, commands in sweep
+    ]

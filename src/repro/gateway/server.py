@@ -1,0 +1,660 @@
+"""The deterministic in-engine gateway server.
+
+The serving front door in front of :class:`~repro.cluster.pool.DevicePool`
+/ :class:`~repro.cluster.replicated.ReplicatedBaWAL`: simulated client
+connections are kernel processes speaking the
+:mod:`repro.gateway.protocol` frames, multiplexed onto per-shard command
+queues, with WAL-first commits on the replicated byte-path WAL.
+
+Flow control is bounded end to end — nothing buffers without a limit:
+
+* each connection direction is a :class:`SimPipe`, a bounded byte pipe
+  (a socket buffer) whose writer blocks when the reader lags;
+* each connection holds a *pipelining window* of ``pipeline_depth``
+  in-flight commands (a capacity-``depth`` :class:`Resource`), so a slow
+  connection can never spread more than ``depth`` commands through the
+  server — its reply queue is bounded by construction;
+* each shard owns a :class:`BoundedQueue` of commands; when it fills,
+  ``put`` blocks the *connection readers*, which stop draining their
+  sockets, which blocks the clients — backpressure propagates to the
+  edge instead of growing a buffer.
+
+Commits are WAL-first (SNIPPETS snippet-2 ``WALFirstWriter``): a write is
+acked once its AOF record is quorum-durable on the replicated BA-WAL;
+the in-memory apply is instant and NAND destage rides the BA-WAL's
+background recycling, off the critical path.  Under byte-path pressure
+(:class:`~repro.core.errors.MappingTableFullError`) the shard degrades:
+its log is replayed onto a fresh stream — which lands on block-WAL legs
+when the mapping-table budget is gone — and the command retries.  Slower
+commits, same durability contract.
+
+Crash semantics are the kernel's: a node crash purges in-flight work.
+Parked waiters (empty-queue getters, empty-pipe receivers) survive a
+purge exactly like :class:`~repro.sim.resources.Store` getters do;
+everything mid-command dies.  :meth:`GatewayServer.recover` rebuilds the
+serving state from the WAL — the only state the gateway trusts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core import MappingTableFullError
+from repro.db.memkv.commands import (
+    Command,
+    Reply,
+    WRITE_COMMANDS,
+    decode_command,
+    encode_command,
+    encode_reply,
+    encode_value,
+)
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    decode_request,
+    encode_frame,
+)
+from repro.obs import events, tracing
+from repro.sim import Engine, Resource, Store
+from repro.sim.engine import Event
+from repro.sim.units import USEC
+
+
+class GatewayError(Exception):
+    """Gateway misuse or resource exhaustion (e.g. connection limit)."""
+
+
+class SimPipe:
+    """A bounded single-reader/single-writer byte pipe (a socket buffer).
+
+    ``send`` returns an event that fires once *all* bytes are buffered;
+    while the pipe is full the sender stays parked and later sends queue
+    FIFO behind it.  ``recv`` returns an event firing with up to
+    ``max_bytes`` (``b""`` means EOF).  Parked waiter events live in pipe
+    bookkeeping, not the scheduler, so — like ``Store`` getters — they
+    survive a kernel purge.
+    """
+
+    def __init__(self, engine: Engine, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"pipe capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.closed = False
+        self.stalls = 0
+        self._buffer = bytearray()
+        # Parked senders: [data, bytes_already_admitted, event], FIFO.
+        self._senders: deque[list] = deque()
+        self._receiver: Optional[tuple[int, Event]] = None
+
+    def send(self, data: bytes) -> Event:
+        if self.closed:
+            raise GatewayError("send on a closed pipe")
+        event = Event(self.engine)
+        if self._senders:
+            self.stalls += 1
+            self._senders.append([data, 0, event])
+            return event
+        admitted = min(len(data), self.capacity - len(self._buffer))
+        self._buffer += data[:admitted]
+        if admitted == len(data):
+            event._triggered = True
+            event._processed = True
+        else:
+            self.stalls += 1
+            self._senders.append([data, admitted, event])
+        self._wake_receiver()
+        return event
+
+    def recv(self, max_bytes: int) -> Event:
+        event = Event(self.engine)
+        if self._buffer:
+            chunk = bytes(self._buffer[:max_bytes])
+            del self._buffer[:max_bytes]
+            self._admit_senders()
+            event._value = chunk
+            event._triggered = True
+            event._processed = True
+        elif self.closed:
+            event._value = b""
+            event._triggered = True
+            event._processed = True
+        else:
+            if self._receiver is not None:
+                raise GatewayError("pipe already has a parked receiver")
+            self._receiver = (max_bytes, event)
+        return event
+
+    def drain(self) -> bytes:
+        """Synchronously take every buffered byte (admitting parked
+        senders as space frees).  The TCP bridge's pump — never call with
+        a parked receiver (the in-engine reader) on the same pipe."""
+        out = bytearray()
+        while self._buffer:
+            out += self._buffer
+            self._buffer.clear()
+            self._admit_senders()
+        return bytes(out)
+
+    def close(self) -> None:
+        """EOF: a parked receiver (and any future recv of an empty pipe)
+        gets ``b""``; buffered bytes still drain first."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._receiver is not None and not self._buffer:
+            _max_bytes, event = self._receiver
+            self._receiver = None
+            event._succeed_processed(b"")
+
+    def _admit_senders(self) -> None:
+        while self._senders:
+            free = self.capacity - len(self._buffer)
+            if free <= 0:
+                return
+            entry = self._senders[0]
+            data, offset, event = entry
+            take = min(len(data) - offset, free)
+            self._buffer += data[offset:offset + take]
+            entry[1] = offset + take
+            if entry[1] == len(data):
+                self._senders.popleft()
+                event._succeed_processed()
+
+    def _wake_receiver(self) -> None:
+        if self._receiver is None or not self._buffer:
+            return
+        max_bytes, event = self._receiver
+        self._receiver = None
+        chunk = bytes(self._buffer[:max_bytes])
+        del self._buffer[:max_bytes]
+        self._admit_senders()
+        event._succeed_processed(chunk)
+
+
+class BoundedQueue:
+    """A ``Store`` with a capacity: ``put`` returns an event that stays
+    parked while the queue is full — the backpressure primitive.
+
+    Parked getters *and* parked putters are queue bookkeeping (they
+    survive purges); hand-offs take the same deferred fast path the
+    kernel's resources use.
+    """
+
+    def __init__(self, engine: Engine, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.stalls = 0
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> Event:
+        event = Event(self.engine)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter._succeed_processed(item)
+            event._triggered = True
+            event._processed = True
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event._triggered = True
+            event._processed = True
+        else:
+            self.stalls += 1
+            self._putters.append((item, event))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.engine)
+        if self._items:
+            event._value = self._items.popleft()
+            event._triggered = True
+            event._processed = True
+            if self._putters:
+                item, put_event = self._putters.popleft()
+                self._items.append(item)
+                put_event._succeed_processed()
+        elif self._putters:
+            # Only reachable with capacity-0 semantics; kept for safety.
+            item, put_event = self._putters.popleft()
+            put_event._succeed_processed()
+            event._value = item
+            event._triggered = True
+            event._processed = True
+        else:
+            self._getters.append(event)
+        return event
+
+
+@dataclass
+class GatewayConfig:
+    """Serving knobs; defaults match the saturation bench's base leg."""
+
+    shards: Optional[int] = None  # None -> one per pool node
+    replicas: int = 2
+    quorum: Optional[int] = None
+    pipeline_depth: int = 8
+    queue_depth: int = 16
+    max_conns: int = 4096
+    socket_buffer_bytes: int = 4096
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+
+@dataclass
+class _Shard:
+    """One partition: a dict, its replicated WAL stream, and a worker."""
+
+    index: int
+    stream_name: str
+    stream: object = None
+    data: dict = field(default_factory=dict)
+    queue: BoundedQueue = None
+    worker: object = None
+
+
+class Connection:
+    """One simulated client connection: two pipes, a window, a reply line.
+
+    ``replies`` carries one *event per request in request order*; the
+    writer awaits them sequentially, so pipelined replies leave in the
+    order their requests arrived no matter which shard finished first.
+    A ``None`` entry is the EOF sentinel.
+    """
+
+    def __init__(self, server: "GatewayServer", conn_id: int) -> None:
+        engine = server.engine
+        self.id = conn_id
+        self.c2s = SimPipe(engine, server.config.socket_buffer_bytes)
+        self.s2c = SimPipe(engine, server.config.socket_buffer_bytes)
+        self.window = Resource(engine, server.config.pipeline_depth)
+        self.replies = Store(engine)
+        self.closed = False
+        self.reader = engine.process(server._conn_reader(self),
+                                     name=f"gw-reader-{conn_id}")
+        self.writer = engine.process(server._conn_writer(self),
+                                     name=f"gw-writer-{conn_id}")
+
+    def close(self) -> None:
+        """Client-side hangup: EOF the request pipe; the server flushes
+        in-flight replies, then EOFs the reply pipe back."""
+        self.c2s.close()
+
+
+class GatewayServer:
+    """The in-engine serving core shared by the driver and the TCP bridge."""
+
+    # CPU costs per stage (simulated): accept handshake, frame parse,
+    # command execution (same figure MemKV calibrates to).
+    ACCEPT_CPU = 2.0 * USEC
+    PARSE_CPU = 1.0 * USEC
+    COMMAND_CPU = 10.0 * USEC
+    RECV_CHUNK_BYTES = 4096
+
+    def __init__(self, pool, config: Optional[GatewayConfig] = None) -> None:
+        self.pool = pool
+        self.engine: Engine = pool.engine
+        self.config = config or GatewayConfig()
+        shard_count = self.config.shards or len(pool.nodes)
+        self.shards = [
+            _Shard(index=index, stream_name=f"gw-shard-{index}")
+            for index in range(shard_count)
+        ]
+        self._conns: dict[int, Connection] = {}
+        self._next_conn_id = 0
+        self.accepted = 0
+        self.refused = 0
+        self.requests = 0
+        self.replies = 0
+        self.errors = 0
+        self.degrades = 0
+        self._closed_socket_stalls = 0
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> Iterator[Event]:
+        """Process: open every shard's replicated stream and start its
+        worker.  Drive via ``engine.run_process(server.start())``."""
+        if self._started:
+            raise GatewayError("gateway already started")
+        for shard in self.shards:
+            shard.stream = yield self.engine.process(self.pool.open_stream(
+                shard.stream_name,
+                replicas=self.config.replicas,
+                quorum=self.config.quorum,
+            ))
+            shard.queue = BoundedQueue(self.engine, self.config.queue_depth)
+            shard.worker = self.engine.process(
+                self._shard_worker(shard), name=f"gw-shard-{shard.index}")
+        self._started = True
+        return None
+
+    def stop(self) -> Iterator[Event]:
+        """Process: close every shard stream (releases byte-path budget).
+        Workers stay parked on their queues; they die with the server."""
+        for shard in self.shards:
+            if shard.stream_name in self.pool.streams:
+                yield self.engine.process(
+                    self.pool.close_stream(shard.stream_name))
+        self._started = False
+        return None
+
+    def accept(self) -> Iterator[Event]:
+        """Process: one connection handshake.  Raises
+        :class:`GatewayError` at the ``max_conns`` limit."""
+        if tracing.enabled:
+            _t0 = self.engine.now
+        yield self.engine.timeout(self.ACCEPT_CPU)
+        if len(self._conns) >= self.config.max_conns:
+            self.refused += 1
+            if tracing.enabled:
+                tracing.count("gateway.conns_refused")
+            raise GatewayError(
+                f"connection limit {self.config.max_conns} reached")
+        self._next_conn_id += 1
+        conn = Connection(self, self._next_conn_id)
+        self._conns[conn.id] = conn
+        self.accepted += 1
+        if tracing.enabled:
+            tracing.observe("gateway.conn.accept", self.engine.now - _t0)
+            tracing.count("gateway.conns_accepted")
+        if events.enabled:
+            events.emit("gateway.conn.accepted", self.engine.now,
+                        conn=conn.id, open_conns=len(self._conns))
+        return conn
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_for_key(self, key: str) -> _Shard:
+        """Deterministic key -> shard routing (blake2b, never ``hash()``)."""
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        return self.shards[int.from_bytes(digest, "big") % len(self.shards)]
+
+    def stream_name_for_key(self, key: str) -> str:
+        return self.shard_for_key(key).stream_name
+
+    # -- connection processes -----------------------------------------------
+
+    def _conn_reader(self, conn: Connection) -> Iterator[Event]:
+        engine = self.engine
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        while True:
+            chunk = yield conn.c2s.recv(self.RECV_CHUNK_BYTES)
+            if not chunk:
+                break  # EOF: client hung up
+            try:
+                frames = decoder.feed(chunk)
+            except ProtocolError as exc:
+                # Framing is unrecoverable: the byte stream can no longer
+                # be trusted.  Reply ERR in order, then hang up.
+                yield from self._enqueue_error(conn, exc)
+                return None
+            for body in frames:
+                if tracing.enabled:
+                    _t0 = engine.now
+                yield engine.timeout(self.PARSE_CPU)
+                try:
+                    command, key, value = decode_request(body)
+                    parse_error = None
+                except ProtocolError as exc:
+                    # The frame boundary held; only this command is bad.
+                    command = key = value = None
+                    parse_error = exc
+                if tracing.enabled:
+                    tracing.observe("gateway.frame.parse", engine.now - _t0)
+                if parse_error is not None:
+                    yield from self._enqueue_error(conn, parse_error,
+                                                   fatal=False)
+                    continue
+                slot = conn.window.request()
+                yield slot
+                done = engine.event()
+                conn.replies.put((done, slot))
+                self.requests += 1
+                if tracing.enabled:
+                    tracing.count("gateway.requests")
+                    tracing.count(f"gateway.cmd.{command.name.lower()}")
+                shard = self.shard_for_key(key)
+                put = shard.queue.put((engine.now, command, key, value, done))
+                if not put._processed:
+                    if tracing.enabled:
+                        tracing.count("gateway.backpressure.engaged")
+                    if events.enabled:
+                        events.emit("gateway.backpressure.engaged",
+                                    engine.now, conn=conn.id,
+                                    shard=shard.index,
+                                    queue_depth=len(shard.queue))
+                yield put
+        conn.closed = True
+        conn.replies.put(None)
+        return None
+
+    def _enqueue_error(self, conn: Connection, exc: Exception,
+                       fatal: bool = True) -> Iterator[Event]:
+        """Reply ``ERR`` through the ordered reply line (so pipelined
+        replies ahead of the error still drain first)."""
+        slot = conn.window.request()
+        yield slot
+        done = self.engine.event()
+        conn.replies.put((done, slot))
+        if fatal:
+            conn.closed = True
+            conn.replies.put(None)
+        self.errors += 1
+        if tracing.enabled:
+            tracing.count("gateway.errors")
+        done.succeed(encode_reply(Reply.ERR, str(exc).encode()))
+        return None
+
+    def _conn_writer(self, conn: Connection) -> Iterator[Event]:
+        engine = self.engine
+        while True:
+            entry = yield conn.replies.get()
+            if entry is None:
+                break
+            done, slot = entry
+            body = yield done
+            if tracing.enabled:
+                _t0 = engine.now
+            send = conn.s2c.send(encode_frame(body))
+            if tracing.enabled and not send._processed:
+                tracing.count("gateway.socket.stalls")
+            yield send
+            conn.window.release(slot)
+            self.replies += 1
+            if tracing.enabled:
+                tracing.observe("gateway.reply.write", engine.now - _t0)
+                tracing.count("gateway.replies")
+        self._conns.pop(conn.id, None)
+        self._closed_socket_stalls += conn.c2s.stalls + conn.s2c.stalls
+        conn.s2c.close()
+        return None
+
+    # -- shard execution ----------------------------------------------------
+
+    def _shard_worker(self, shard: _Shard) -> Iterator[Event]:
+        engine = self.engine
+        while True:
+            enqueued_at, command, key, value, done = yield shard.queue.get()
+            if tracing.enabled:
+                tracing.observe("gateway.queue.wait",
+                                engine.now - enqueued_at)
+            yield engine.timeout(self.COMMAND_CPU)
+            if command is Command.GET:
+                payload = encode_value(shard.data.get(key))
+                done.succeed(encode_reply(Reply.VALUE, payload))
+                continue
+            body = yield engine.process(
+                self._execute_write(shard, command, key, value))
+            done.succeed(body)
+
+    def _execute_write(self, shard: _Shard, command: Command, key: str,
+                       value: bytes) -> Iterator[Event]:
+        """Process: WAL-first commit — append, quorum, *then* apply.
+
+        The ack (the returned reply body) exists only after the AOF
+        record is quorum-durable; destage to NAND rides the BA-WAL's
+        background recycling.  One degrade-and-retry on byte-path
+        pressure; a second failure propagates.
+        """
+        engine = self.engine
+        if command is Command.INCR:
+            # Validate *before* the WAL append: a command that cannot
+            # apply must never reach the AOF (replay would fail too).
+            try:
+                int(shard.data.get(key, b"0"))
+            except ValueError:
+                self.errors += 1
+                if tracing.enabled:
+                    tracing.count("gateway.errors")
+                return encode_reply(Reply.ERR, b"value is not an integer")
+        record = encode_command(command, key, value)
+        for attempt in (0, 1):
+            stream = shard.stream
+            try:
+                if tracing.enabled:
+                    _t0 = engine.now
+                lsn = yield engine.process(stream.append(record))
+                if tracing.enabled:
+                    tracing.observe("gateway.wal.append", engine.now - _t0)
+                    _t1 = engine.now
+                yield engine.process(stream.commit(lsn))
+                if tracing.enabled:
+                    tracing.observe("gateway.wal.quorum", engine.now - _t1)
+                break
+            except MappingTableFullError:
+                if attempt:
+                    raise
+                yield engine.process(self._degrade_shard(shard))
+        new_value = self._apply(shard, command, key, value)
+        if command is Command.INCR:
+            return encode_reply(Reply.OK, new_value)
+        return encode_reply(Reply.OK)
+
+    @staticmethod
+    def _apply(shard: _Shard, command: Command, key: str,
+               value: bytes) -> bytes:
+        data = shard.data
+        if command is Command.SET:
+            data[key] = value
+        elif command is Command.DEL:
+            data.pop(key, None)
+        elif command is Command.APPEND:
+            data[key] = value = data.get(key, b"") + value
+        elif command is Command.INCR:
+            data[key] = value = str(int(data.get(key, b"0")) + 1).encode()
+        else:  # pragma: no cover - WRITE_COMMANDS is exhaustive
+            raise GatewayError(f"not a write command: {command}")
+        return value
+
+    def _degrade_shard(self, shard: _Shard) -> Iterator[Event]:
+        """Process: byte-path pressure — move the shard's log to a fresh
+        stream on the same nodes (block legs once the mapping-table
+        budget is gone) without losing a single acked record.
+
+        Same staged-swap shape as ``FailoverManager.fail_over``: recover
+        the old primary, replay onto a staging stream, quorum-commit the
+        replay, and only then swap names and release the old legs.
+        """
+        pool = self.pool
+        engine = self.engine
+        old = shard.stream
+        self.degrades += 1
+        if tracing.enabled:
+            tracing.count("gateway.shard.degraded")
+        with tracing.span("gateway.shard.degrade", engine):
+            recovered_pairs = yield engine.process(old.primary.wal.recover())
+            recovered = [payload for _lsn, payload in recovered_pairs]
+            nodes = [leg.node.name for leg in old.legs() if leg.node.up]
+            staging = f"{shard.stream_name}@degrade"
+            if staging in pool.streams:
+                yield engine.process(pool.close_stream(staging))
+            new_stream = yield engine.process(pool.open_stream(
+                staging, replicas=len(nodes), on_nodes=nodes,
+                quorum=old.quorum))
+            lsn = 0
+            for payload in recovered:
+                lsn = yield engine.process(new_stream.append(payload))
+            if recovered:
+                yield engine.process(new_stream.commit(lsn))
+            yield engine.process(pool.close_stream(shard.stream_name))
+            new_stream.name = shard.stream_name
+            pool.streams[shard.stream_name] = new_stream
+            del pool.streams[staging]
+            shard.stream = new_stream
+        if events.enabled:
+            events.emit("gateway.shard.degraded", engine.now,
+                        shard=shard.index, stream=shard.stream_name,
+                        replayed=len(recovered),
+                        kinds=tuple(leg.kind for leg in new_stream.legs()))
+        return None
+
+    # -- crash recovery -----------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild serving state after a node crash (+ failovers).
+
+        Call from *outside* the kernel, after the crash harness and any
+        ``FailoverManager.fail_over`` runs.  Every connection died with
+        the crash (clients reconnect and resend past their last ack);
+        commands queued but never quorum-acked are dropped with their
+        queues — the same socket-buffer semantics the replica pipelines
+        promise.  Each shard re-adopts its stream by *name* (failover
+        swaps the object underneath), repairs the replica pipelines, and
+        replays the WAL into a fresh dict — the WAL is the only state the
+        gateway trusts.  Returns the number of shards rebuilt.
+        """
+        engine = self.engine
+        self._conns.clear()
+        rebuilt = 0
+        for shard in self.shards:
+            shard.stream = self.pool.streams[shard.stream_name]
+            shard.stream.respawn_workers()
+            shard.queue = BoundedQueue(engine, self.config.queue_depth)
+            shard.data = {}
+            records = engine.run_process(shard.stream.recover())
+            for _lsn, payload in records:
+                command, key, value = decode_command(bytes(payload))
+                self._apply(shard, command, key, value)
+            shard.worker = engine.process(
+                self._shard_worker(shard), name=f"gw-shard-{shard.index}")
+            rebuilt += 1
+        if events.enabled:
+            events.emit("gateway.recovered", engine.now, shards=rebuilt)
+        return rebuilt
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe serving counters (golden fixtures fold these in)."""
+        return {
+            "accepted": self.accepted,
+            "refused": self.refused,
+            "requests": self.requests,
+            "replies": self.replies,
+            "errors": self.errors,
+            "degrades": self.degrades,
+            "open_conns": len(self._conns),
+            "queue_stalls": sum(shard.queue.stalls for shard in self.shards
+                                if shard.queue is not None),
+            "socket_stalls": self._closed_socket_stalls + sum(
+                conn.c2s.stalls + conn.s2c.stalls
+                for conn in self._conns.values()),
+            "shard_keys": [len(shard.data) for shard in self.shards],
+            "shard_kinds": [
+                tuple(leg.kind for leg in shard.stream.legs())
+                if shard.stream is not None else ()
+                for shard in self.shards
+            ],
+        }

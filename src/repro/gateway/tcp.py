@@ -1,0 +1,135 @@
+"""The real-asyncio TCP face of the gateway (``repro serve``).
+
+A thin bridge: every TCP connection maps to one in-engine
+:class:`~repro.gateway.server.Connection`, and every chunk a real client
+sends is injected into the simulated ``c2s`` socket buffer, the kernel
+is run to quiescence, and whatever landed in ``s2c`` is pumped back out
+the real socket.  The protocol core, command execution, WAL-first
+commits, and flow control are all the deterministic server's — this
+module never parses a frame.
+
+One asyncio lock serializes engine access: the simulation kernel is
+single-threaded and its determinism contract has no concept of two
+concurrent drivers.  Real concurrency ends at the socket; simulated
+concurrency (pipelining, shard queues, quorum commits) happens inside
+``engine.run()``.
+
+Bind failures exit cleanly: ``serve_forever`` prints one line to stderr
+and returns status 2 — no traceback for a port already in use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Optional
+
+from repro.gateway.server import Connection, GatewayConfig, GatewayError, GatewayServer
+
+#: Real-socket read size per pump cycle (independent of the simulated
+#: socket_buffer_bytes; the sim pipe applies its own backpressure).
+TCP_CHUNK_BYTES = 65536
+
+
+class TcpGateway:
+    """Bridges real TCP connections onto one in-engine gateway server."""
+
+    def __init__(self, pool, config: Optional[GatewayConfig] = None) -> None:
+        self.pool = pool
+        self.engine = pool.engine
+        self.server = GatewayServer(pool, config)
+        self._lock: Optional[asyncio.Lock] = None
+
+    def start(self) -> None:
+        """Open the shard streams (call once, before serving)."""
+        self.engine.run_process(self.server.start())
+
+    def _pump(self, conn: Connection, data: bytes) -> bytes:
+        """Inject ``data``, run the kernel to quiescence, drain replies.
+
+        Runs under the engine lock.  The injected send may park on a full
+        simulated socket buffer; ``engine.run()`` lets the server drain
+        it (or leaves it parked — the admitted prefix is all the server
+        has seen, exactly like a real kernel socket buffer).
+        """
+        if data:
+            conn.c2s.send(data)
+        self.engine.run()
+        return conn.s2c.drain()
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        assert self._lock is not None
+        try:
+            async with self._lock:
+                conn = self.engine.run_process(self.server.accept())
+        except GatewayError as exc:
+            writer.write(f"ERR {exc}\n".encode())
+            await writer.drain()
+            writer.close()
+            return
+        try:
+            while True:
+                data = await reader.read(TCP_CHUNK_BYTES)
+                async with self._lock:
+                    if not data:
+                        conn.close()  # EOF: flush in-flight replies
+                        out = self._pump(conn, b"")
+                    else:
+                        out = self._pump(conn, data)
+                if out:
+                    writer.write(out)
+                    await writer.drain()
+                if not data:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            async with self._lock:
+                conn.close()
+                self._pump(conn, b"")
+        finally:
+            writer.close()
+
+    async def serve(self, host: str, port: int) -> None:
+        """Bind and serve until cancelled.  ``OSError`` (bind failure)
+        propagates to the caller."""
+        self._lock = asyncio.Lock()
+        self.start()
+        server = await asyncio.start_server(self.handle, host, port)
+        addrs = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+            for sock in server.sockets)
+        print(f"gateway listening on {addrs} "
+              f"({len(self.server.shards)} shards, "
+              f"rf={self.server.config.replicas}, "
+              f"pipeline_depth={self.server.config.pipeline_depth})",
+              flush=True)
+        async with server:
+            await server.serve_forever()
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 7379, *,
+                  nodes: int = 3, rf: int = 2, pipeline_depth: int = 8,
+                  max_conns: int = 4096, seed: int = 11) -> int:
+    """The ``repro serve`` entry point; returns a process exit status.
+
+    Builds a fresh ``nodes``-device pool and serves on ``host:port``
+    until interrupted.  A bind failure (port in use, privileged port,
+    bad host) is an expected operational error: one clean line on
+    stderr, status 2, no traceback.
+    """
+    from repro.cluster import DevicePool
+
+    pool = DevicePool(devices=nodes, seed=seed)
+    config = GatewayConfig(replicas=rf, pipeline_depth=pipeline_depth,
+                           max_conns=max_conns)
+    bridge = TcpGateway(pool, config)
+    try:
+        asyncio.run(bridge.serve(host, port))
+    except OSError as exc:
+        print(f"repro serve: cannot bind {host}:{port}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        return 0
+    return 0

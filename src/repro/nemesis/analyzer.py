@@ -123,7 +123,7 @@ class StreamingAnalyzer:
 
     # -- end-of-campaign checks ---------------------------------------------
 
-    def check_recovery(self, pool, acked: dict) -> dict:
+    def check_recovery(self, pool, acked: dict, decode=None) -> dict:
         """Re-read every stream's log from its first up leg; every acked
         record must be present, untorn, and per-client gapless.
 
@@ -132,6 +132,14 @@ class StreamingAnalyzer:
         with no surviving leg cannot be checked (they also cannot have
         clients still acking — that *would* be a violation, flagged by
         the streaming layer).
+
+        ``decode`` optionally maps a raw WAL record to the logical
+        payload carrying the ``make_payload`` stamp (or ``None`` for an
+        undecodable record, counted torn).  The gateway logs
+        command-encoded AOF records, so its durability check passes
+        :func:`repro.gateway.driver.decode_gateway_record` here; the
+        plain replicated-logging campaigns log stamps directly and omit
+        it.
         """
         engine = pool.engine
         summary: dict = {}
@@ -155,11 +163,14 @@ class StreamingAnalyzer:
                 continue
             recovered_pairs = engine.run_process(survivor.wal.recover())
             recovered = [payload for _lsn, payload in recovered_pairs]
+            if decode is not None:
+                recovered = [decode(payload) for payload in recovered]
             torn = 0
             seqs: dict[int, set] = {}
             recovered_set = set()
             for payload in recovered:
-                parsed = parse_payload(bytes(payload))
+                parsed = (parse_payload(bytes(payload))
+                          if payload is not None else None)
                 if parsed is None:
                     torn += 1
                     continue

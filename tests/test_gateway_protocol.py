@@ -1,0 +1,139 @@
+"""Wire-protocol tests: frame round-trips, chunking, adversarial input."""
+
+import pytest
+
+from repro.db.memkv.commands import (
+    Command,
+    Reply,
+    decode_reply,
+    encode_command,
+    encode_reply,
+)
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_KEY_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    decode_reply_frame,
+    decode_request,
+    encode_frame,
+    encode_reply_frame,
+    encode_request,
+)
+
+REQUESTS = [
+    (Command.SET, "k", b"v"),
+    (Command.SET, "", b""),
+    (Command.GET, "key-with-dashes", b""),
+    (Command.DEL, "x" * 100, b""),
+    (Command.APPEND, "log", b"\x00\xff" * 500),
+    (Command.INCR, "counter", b""),
+    (Command.SET, "unicode-éü", "value-☃".encode()),
+    (Command.SET, "k" * MAX_KEY_BYTES, b"big" * 1000),
+]
+
+REPLIES = [
+    (Reply.OK, b""),
+    (Reply.OK, b"42"),
+    (Reply.VALUE, b"\x00"),
+    (Reply.VALUE, b"\x01" + b"payload" * 100),
+    (Reply.ERR, b"value is not an integer"),
+]
+
+
+@pytest.mark.parametrize("command,key,value", REQUESTS)
+def test_request_roundtrip(command, key, value):
+    frame = encode_request(command, key, value)
+    decoder = FrameDecoder()
+    bodies = decoder.feed(frame)
+    assert len(bodies) == 1
+    assert decode_request(bodies[0]) == (command, key, value)
+    assert decoder.at_frame_boundary()
+
+
+@pytest.mark.parametrize("reply,payload", REPLIES)
+def test_reply_roundtrip(reply, payload):
+    frame = encode_reply_frame(reply, payload)
+    (body,) = FrameDecoder().feed(frame)
+    assert decode_reply_frame(body) == (reply, payload)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, 4096])
+def test_decoder_reassembles_across_arbitrary_chunks(chunk_size):
+    stream = b"".join(encode_request(cmd, key, value)
+                      for cmd, key, value in REQUESTS)
+    decoder = FrameDecoder()
+    decoded = []
+    for start in range(0, len(stream), chunk_size):
+        for body in decoder.feed(stream[start:start + chunk_size]):
+            decoded.append(decode_request(body))
+    assert decoded == REQUESTS
+    assert decoder.at_frame_boundary()
+    assert decoder.frames_decoded == len(REQUESTS)
+    assert decoder.bytes_fed == len(stream)
+
+
+def test_decoder_interleaves_partial_frames():
+    frame = encode_request(Command.SET, "abc", b"def")
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:5]) == []
+    assert not decoder.at_frame_boundary()
+    assert decoder.buffered_bytes() == 5
+    (body,) = decoder.feed(frame[5:])
+    assert decode_request(body) == (Command.SET, "abc", b"def")
+
+
+def test_hostile_length_prefix_rejected_before_buffering():
+    decoder = FrameDecoder()
+    prefix = (MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+    with pytest.raises(ProtocolError):
+        decoder.feed(prefix)
+
+
+def test_oversized_body_rejected_on_encode():
+    with pytest.raises(ProtocolError):
+        encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_empty_request_frame_rejected():
+    with pytest.raises(ProtocolError):
+        decode_request(b"")
+
+
+def test_unknown_opcode_rejected():
+    body = bytes([0xEE]) + (1).to_bytes(2, "little") + b"k"
+    with pytest.raises(ProtocolError):
+        decode_request(body)
+
+
+def test_truncated_request_body_rejected():
+    body = encode_command(Command.SET, "key", b"value")
+    with pytest.raises(ProtocolError):
+        decode_request(body[:3])  # header promises more key than present
+
+
+def test_oversized_key_rejected():
+    body = encode_command(Command.SET, "k" * (MAX_KEY_BYTES + 1), b"")
+    with pytest.raises(ProtocolError):
+        decode_request(body)
+
+
+def test_malformed_reply_frame_rejected():
+    with pytest.raises(ProtocolError):
+        decode_reply_frame(b"")
+    with pytest.raises(ProtocolError):
+        decode_reply_frame(bytes([99]) + b"payload")
+
+
+def test_memkv_reply_codec_roundtrip():
+    for reply, payload in REPLIES:
+        assert decode_reply(encode_reply(reply, payload)) == (reply, payload)
+
+
+def test_decoder_max_frame_bytes_is_configurable():
+    decoder = FrameDecoder(max_frame_bytes=8)
+    small = encode_frame(b"tiny")
+    (body,) = decoder.feed(small)
+    assert body == b"tiny"
+    with pytest.raises(ProtocolError):
+        decoder.feed(encode_frame(b"way too big"))

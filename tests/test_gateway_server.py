@@ -1,0 +1,295 @@
+"""Gateway serving tests: correctness, pipelining, backpressure bounds,
+degradation under byte-path pressure, and crash durability."""
+
+import pytest
+
+from repro.cluster import ClusterCrashHarness, DevicePool, FailoverManager
+from repro.core import MappingTableFullError
+from repro.db.memkv.commands import Command, Reply, decode_value
+from repro.gateway import (
+    BoundedQueue,
+    GatewayConfig,
+    GatewayError,
+    GatewayLoad,
+    GatewayServer,
+    SimPipe,
+    decode_gateway_record,
+    decode_reply_frame,
+    encode_request,
+    run_serving,
+)
+from repro.gateway.protocol import FrameDecoder
+from repro.nemesis.analyzer import StreamingAnalyzer
+from repro.sim import Engine
+
+
+# -- flow-control primitives --------------------------------------------------
+
+
+def test_simpipe_blocks_writer_at_capacity():
+    engine = Engine()
+    pipe = SimPipe(engine, capacity=4)
+    first = pipe.send(b"abcd")
+    assert first._processed  # fits exactly
+    second = pipe.send(b"ef")
+    assert not second._processed  # buffer full: writer parks
+    assert pipe.stalls == 1
+    got = pipe.recv(3)
+    assert got._processed and got._value == b"abc"
+    assert second._processed  # space freed; parked sender admitted
+    assert pipe.recv(16)._value == b"def"
+
+
+def test_simpipe_eof_semantics():
+    engine = Engine()
+    pipe = SimPipe(engine, capacity=8)
+    pipe.send(b"tail")
+    pipe.close()
+    assert pipe.recv(16)._value == b"tail"  # buffered bytes drain first
+    assert pipe.recv(16)._value == b""  # then EOF
+    with pytest.raises(GatewayError):
+        pipe.send(b"x")
+
+
+def test_bounded_queue_parks_putter_at_capacity():
+    engine = Engine()
+    queue = BoundedQueue(engine, capacity=2)
+    assert queue.put("a")._processed
+    assert queue.put("b")._processed
+    third = queue.put("c")
+    assert not third._processed
+    assert queue.stalls == 1
+    assert queue.get()._value == "a"
+    assert third._processed  # freed slot admits the parked putter
+    assert len(queue) == 2
+
+
+# -- serving correctness ------------------------------------------------------
+
+
+def _pool(devices=3, seed=777):
+    return DevicePool(devices=devices, seed=seed)
+
+
+def test_serving_answers_every_pipelined_command():
+    result = run_serving(_pool(), clients=16, commands_per_client=8,
+                         pipeline_depth=4, queue_depth=8)
+    assert result.replies == result.commands == 16 * 8
+    assert result.server_stats["open_conns"] == 0
+    assert result.ok and result.values  # both writes and reads served
+    assert result.server_stats["requests"] == result.commands
+    # Every shard stream landed on byte-path legs (budget was free).
+    for kinds in result.server_stats["shard_kinds"]:
+        assert all(kind == "ba" for kind in kinds)
+
+
+def test_serving_is_deterministic():
+    first = run_serving(_pool(), clients=12, commands_per_client=6)
+    second = run_serving(_pool(), clients=12, commands_per_client=6)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_get_observes_prior_writes_in_order():
+    """SET then GET on one pipelined connection returns the set value."""
+    pool = _pool(devices=2)
+    engine = pool.engine
+    server = GatewayServer(pool, GatewayConfig(replicas=2, pipeline_depth=4))
+    engine.run_process(server.start())
+    replies = []
+
+    def client():
+        conn = yield engine.process(server.accept())
+        conn.c2s.send(encode_request(Command.SET, "k", b"v1"))
+        conn.c2s.send(encode_request(Command.GET, "k"))
+        conn.c2s.send(encode_request(Command.APPEND, "k", b"+v2"))
+        conn.c2s.send(encode_request(Command.GET, "k"))
+        conn.c2s.send(encode_request(Command.GET, "absent"))
+        decoder = FrameDecoder()
+        while len(replies) < 5:
+            chunk = yield conn.s2c.recv(4096)
+            for body in decoder.feed(chunk):
+                replies.append(decode_reply_frame(body))
+        conn.close()
+        return None
+
+    engine.run(until=engine.process(client()))
+    engine.run()
+    assert replies[0] == (Reply.OK, b"")
+    assert replies[1][0] is Reply.VALUE
+    assert decode_value(replies[1][1]) == b"v1"
+    assert decode_value(replies[3][1]) == b"v1+v2"
+    assert decode_value(replies[4][1]) is None  # miss, not empty
+
+
+def test_pipelining_overlaps_commits():
+    """Depth 8 finishes the same per-client workload in less simulated
+    time than depth 1 — in-flight commands overlap WAL commits."""
+    deep = run_serving(_pool(seed=31), clients=4, commands_per_client=16,
+                       pipeline_depth=8)
+    shallow = run_serving(_pool(seed=31), clients=4, commands_per_client=16,
+                          pipeline_depth=1)
+    assert deep.replies == shallow.replies
+    assert deep.sim_seconds < shallow.sim_seconds
+
+
+def test_malformed_frame_kills_connection_after_ordered_error():
+    pool = _pool(devices=2)
+    engine = pool.engine
+    server = GatewayServer(pool, GatewayConfig(replicas=2))
+    engine.run_process(server.start())
+    replies = []
+
+    def client():
+        conn = yield engine.process(server.accept())
+        conn.c2s.send(encode_request(Command.SET, "k", b"v"))
+        # A hostile length prefix: framing is unrecoverable.
+        conn.c2s.send((1 << 31).to_bytes(4, "little") + b"junk")
+        decoder = FrameDecoder()
+        while True:
+            chunk = yield conn.s2c.recv(4096)
+            if not chunk:
+                break  # server hung up
+            for body in decoder.feed(chunk):
+                replies.append(decode_reply_frame(body))
+        return None
+
+    engine.run(until=engine.process(client()))
+    engine.run()
+    assert replies[0] == (Reply.OK, b"")  # the good command still acked
+    assert replies[1][0] is Reply.ERR  # then the framing error, in order
+    assert server.errors == 1
+    assert server.stats()["open_conns"] == 0
+
+
+def test_connection_limit_refuses_with_gateway_error():
+    pool = _pool(devices=2)
+    engine = pool.engine
+    server = GatewayServer(pool, GatewayConfig(replicas=2, max_conns=2))
+    engine.run_process(server.start())
+    engine.run_process(server.accept())
+    engine.run_process(server.accept())
+    with pytest.raises(GatewayError):
+        engine.run_process(server.accept())
+    assert server.refused == 1
+
+
+# -- backpressure -------------------------------------------------------------
+
+
+def test_slowloris_reader_is_bounded_not_buffered():
+    """A slow reader engages the whole chain — full reply pipe, stalled
+    writer, exhausted window, stalled shard queue — while every buffer
+    stays at its configured bound."""
+    pool = _pool(devices=2, seed=55)
+    engine = pool.engine
+    config = GatewayConfig(replicas=2, pipeline_depth=4, queue_depth=4,
+                           socket_buffer_bytes=64)
+    server = GatewayServer(pool, config)
+    engine.run_process(server.start())
+    load = GatewayLoad(server, value_bytes=48)
+    sessions = [
+        engine.process(load.client(client_id, 12,
+                                   recv_delay=3e-4 if client_id == 0 else 0.0))
+        for client_id in range(8)
+    ]
+    # Pause mid-run and check the bounds while backpressure is live.
+    engine.run(until=engine.timeout(2e-4))
+    for shard in server.shards:
+        assert len(shard.queue) <= config.queue_depth
+    for conn in server._conns.values():
+        assert len(conn.c2s._buffer) <= config.socket_buffer_bytes
+        assert len(conn.s2c._buffer) <= config.socket_buffer_bytes
+    engine.run(until=engine.all_of(sessions))
+    engine.run()
+    stats = server.stats()
+    assert stats["queue_stalls"] > 0  # queue pushed back on readers
+    assert stats["socket_stalls"] > 0  # full pipes pushed back on writers
+    assert load.replies == load.commands  # and yet nothing was lost
+    assert stats["open_conns"] == 0
+
+
+# -- degradation under byte-path pressure -------------------------------------
+
+
+def test_mapping_pressure_degrades_shard_to_block_wal():
+    """Mid-run ``MappingTableFullError`` with the BA budget exhausted:
+    the shard replays onto block-WAL legs and the command retries —
+    slower commits, no lost data."""
+    pool = _pool(devices=2, seed=91)
+    engine = pool.engine
+    server = GatewayServer(pool, GatewayConfig(
+        shards=1, replicas=2, pipeline_depth=4))
+    engine.run_process(server.start())
+    shard = server.shards[0]
+    assert all(leg.kind == "ba" for leg in shard.stream.legs())
+    # Exhaust the remaining byte-path budget on both nodes.
+    for index in range(3):
+        engine.run_process(pool.open_stream(f"filler-{index}", replicas=2))
+    # Inject byte-path pressure on the next append only.
+    real_append = shard.stream.append
+    state = {"armed": True}
+
+    def flaky_append(payload):
+        if state["armed"]:
+            state["armed"] = False
+            raise MappingTableFullError("mapping table exhausted")
+        return real_append(payload)
+
+    shard.stream.append = flaky_append
+    load = GatewayLoad(server, value_bytes=32)
+    sessions = [engine.process(load.client(client_id, 8))
+                for client_id in range(4)]
+    engine.run(until=engine.all_of(sessions))
+    engine.run()
+    assert server.degrades == 1
+    assert load.replies == load.commands
+    stats = server.stats()
+    assert any(kind == "block" for kind in stats["shard_kinds"][0])
+    # The replayed log still holds every acked write: recover and count.
+    records = engine.run_process(server.shards[0].stream.recover())
+    assert records  # the pre-degrade writes survived the replay swap
+
+
+# -- crash durability ---------------------------------------------------------
+
+
+def test_power_loss_mid_pipeline_loses_no_acked_command():
+    """Crash a shard primary mid-pipeline, fail over, recover the server,
+    reconnect the clients — then prove via the nemesis analyzer that
+    every acked command is present, untorn, and gapless on the
+    surviving WAL legs."""
+    pool = _pool(devices=3, seed=1234)
+    engine = pool.engine
+    server = GatewayServer(pool, GatewayConfig(
+        shards=2, replicas=2, pipeline_depth=4, queue_depth=8))
+    engine.run_process(server.start())
+    load = GatewayLoad(server, value_bytes=96, payload_stamps=True)
+    clients, commands = 8, 12
+    for client_id in range(clients):
+        engine.process(load.client(client_id, commands))
+    engine.run(until=engine.timeout(2e-4))  # mid-pipeline: acks in flight
+    acked_before = sum(len(entries) for entries in load.acked.values())
+    assert 0 < acked_before < clients * commands
+    victim = server.shards[0].stream.primary.node.name
+    harness = ClusterCrashHarness(pool)
+    manager = FailoverManager(pool)
+    harness.crash_node_now(victim)
+    for shard in server.shards:
+        stream = pool.streams[shard.stream_name]
+        if any(not leg.node.up for leg in stream.legs()):
+            engine.run_process(manager.fail_over(shard.stream_name))
+    assert server.recover() == 2
+    sessions = [
+        engine.process(load.client(client_id, commands,
+                                   start_seq=load.resume_seq(client_id)))
+        for client_id in range(clients)
+    ]
+    engine.run(until=engine.all_of(sessions))
+    engine.run()
+    analyzer = StreamingAnalyzer()
+    summary = analyzer.check_recovery(pool, load.acked,
+                                      decode=decode_gateway_record)
+    assert analyzer.ok(), [v.to_dict() for v in analyzer.violations]
+    checked = [entry for entry in summary.values() if entry["checked"]]
+    assert checked and all(entry["missing"] == 0 for entry in checked)
+    assert sum(entry["acked"] for entry in checked) > acked_before
