@@ -47,8 +47,8 @@ else
     echo "==> mypy: not installed, skipping (baseline in pyproject.toml)"
 fi
 
-step "gateway serving golden (byte-identical fixture)" \
-    python -m repro.bench.golden gateway_serving
+step "gateway serving goldens (byte-identical fixtures)" \
+    python -m repro.bench.golden gateway_serving gateway_group_commit
 
 if [ "$fast" = 1 ]; then
     step "tier-1 tests (fast: no soak)" python -m pytest -x -q -m "not soak" tests/

@@ -224,6 +224,36 @@ def scenario_gateway_serving() -> dict:
 
     with tracing.activated() as tracer:
         pool = DevicePool(devices=3, seed=909)
+        # Pinned to the pre-group-commit serving path (one lane, inline
+        # per-command commits, frame-per-write replies): the fixture
+        # predates the coalescer and must stay byte-identical to it.
+        result = run_serving(pool, clients=64, commands_per_client=12,
+                             pipeline_depth=8, queue_depth=8,
+                             socket_buffer_bytes=64,
+                             slow_clients=2, slow_recv_delay=2e-4,
+                             writer_lanes=1, group_commit=False,
+                             reply_flush_frames=1)
+        report = pool.collect_stats(tracer=tracer)
+    report["serving"] = result.to_dict()
+    return report
+
+
+def scenario_gateway_group_commit() -> dict:
+    """The group-commit serving pipeline on a 3-node pool (seed 909).
+
+    Same mixed load as ``gateway_serving`` but through the coalesced
+    path: four key-striped lanes per shard, batched appends and
+    replication, one quorum barrier per commit window, scatter-gather
+    reply flushing.  The fixture locks the whole pipeline's simulated
+    behaviour — batch shapes, admit stalls, barrier counts, and every
+    span histogram — byte-for-byte.
+    """
+    from repro.cluster import DevicePool
+    from repro.gateway.driver import run_serving
+    from repro.obs import tracing
+
+    with tracing.activated() as tracer:
+        pool = DevicePool(devices=3, seed=909)
         result = run_serving(pool, clients=64, commands_per_client=12,
                              pipeline_depth=8, queue_depth=8,
                              socket_buffer_bytes=64,
@@ -240,6 +270,7 @@ SCENARIOS: dict[str, Callable[[], dict]] = {
     "cluster_replicated": scenario_cluster_replicated,
     "nemesis_campaign": scenario_nemesis_campaign,
     "gateway_serving": scenario_gateway_serving,
+    "gateway_group_commit": scenario_gateway_group_commit,
 }
 
 

@@ -293,9 +293,14 @@ def _profile_leg(leg_id: str, top: int) -> int:
 
     from repro.bench import legs as legs_module
     from repro.bench.runner import resolve
+    from repro.gateway.legs import gateway_matrix
 
     matrix = {entry.leg_id: entry for entry in legs_module.full_matrix()}
     for entry in legs_module.golden_matrix():
+        matrix.setdefault(entry.leg_id, entry)
+    # The gateway saturation legs profile too — the coalescer hot path
+    # is exactly the kind of wall-clock regression this exists to find.
+    for entry in gateway_matrix():
         matrix.setdefault(entry.leg_id, entry)
     selected = matrix.get(leg_id)
     if selected is None:

@@ -28,7 +28,7 @@ from repro.cluster.interconnect import Interconnect
 from repro.obs import events, tracing
 from repro.sim import Engine, Store
 from repro.sim.engine import Event
-from repro.wal.base import WalStats, WriteAheadLog
+from repro.wal.base import PartialAppendError, WalStats, WriteAheadLog
 from repro.wal.record import RECORD_HEADER_BYTES
 
 
@@ -67,6 +67,21 @@ class _ReplicaLeg:
                 self.local_lsn = yield engine.process(
                     self.leg.wal.append(payload)
                 )
+            elif item[0] == "append_batch":
+                # One interconnect message and one replica-side append
+                # pass cover the whole batch (group commit's replication
+                # half).  Apply order still matches primary LSN order:
+                # batches are enqueued atomically after the primary batch.
+                payloads = item[1]
+                yield engine.process(self.net.transfer(
+                    self.src_name, self.leg.node.name,
+                    sum(RECORD_HEADER_BYTES + len(p) for p in payloads),
+                ))
+                lsns = yield engine.process(
+                    self.leg.wal.append_batch(payloads)
+                )
+                if lsns:
+                    self.local_lsn = lsns[-1]
             else:  # ("commit", ack_event)
                 ack = item[1]
                 yield engine.process(self.net.send_control(
@@ -173,6 +188,45 @@ class ReplicatedBaWAL(WriteAheadLog):
         self.stats.appends += 1
         self.stats.bytes_appended += len(payload)
         return lsn
+
+    def append_batch(self, payloads: list[bytes]) -> Iterator[Event]:
+        """Process: batched append — the primary logs the whole batch in
+        one pass, then ONE queue message per replica ships it (one
+        interconnect transfer, one replica-side append pass), instead of
+        one message per record.
+
+        The LSN-order invariant is :meth:`append`'s: enqueueing happens
+        with no intervening yield after the primary batch lands.  If the
+        primary stops part-way (:class:`PartialAppendError`), the
+        appended *prefix* is still shipped to every replica before the
+        error re-raises — legs must hold identical payload sequences or
+        a failover could promote a replica missing records the primary
+        holds.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if tracing.enabled:
+            _t0 = self.engine.now
+        try:
+            lsns = yield self.engine.process(
+                self.primary.wal.append_batch(payloads))
+        except PartialAppendError as exc:
+            appended = payloads[:len(exc.lsns)]
+            if appended:
+                for replica in self._replicas:
+                    replica.queue.put(("append_batch", appended))
+                self.stats.appends += len(appended)
+                self.stats.bytes_appended += sum(len(p) for p in appended)
+            raise
+        for replica in self._replicas:
+            replica.queue.put(("append_batch", payloads))
+        if tracing.enabled:
+            tracing.observe("cluster.append_batch", self.engine.now - _t0)
+            tracing.count("cluster.appends", len(payloads))
+        self.stats.appends += len(payloads)
+        self.stats.bytes_appended += sum(len(p) for p in payloads)
+        return lsns
 
     def commit(self, lsn: int) -> Iterator[Event]:
         """Process: make the stream durable on a quorum of legs.

@@ -80,9 +80,14 @@ def stage_latencies(tracer) -> dict:
 
 def serving_leg(pool, clients: int = 64, commands: int = 8,
                 pipeline_depth: int = 8, queue_depth: int = 16,
-                replicas: int = 2) -> dict:
+                replicas: int = 2, writer_lanes: int = 4,
+                group_commit: bool = True,
+                commit_batch_commands: int = 16,
+                reply_flush_frames: int = 8) -> dict:
     """One saturation point: serve the full fleet, report throughput and
-    per-stage latency percentiles (all simulated time — deterministic)."""
+    per-stage latency percentiles (all simulated time — deterministic).
+    The group-commit knobs pin an ablation point (``group_commit=False``
+    reproduces the PR-9 per-command commit path)."""
     from repro.gateway.driver import run_serving
     from repro.obs import tracing
 
@@ -90,7 +95,11 @@ def serving_leg(pool, clients: int = 64, commands: int = 8,
         result = run_serving(pool, clients=clients,
                              commands_per_client=commands,
                              pipeline_depth=pipeline_depth,
-                             queue_depth=queue_depth, replicas=replicas)
+                             queue_depth=queue_depth, replicas=replicas,
+                             writer_lanes=writer_lanes,
+                             group_commit=group_commit,
+                             commit_batch_commands=commit_batch_commands,
+                             reply_flush_frames=reply_flush_frames)
     payload = result.to_dict()
     payload["pipeline_depth"] = pipeline_depth
     payload["stages"] = stage_latencies(tracer)
@@ -105,10 +114,18 @@ _GATEWAY_WARM = WarmSpec(
 
 
 def gateway_matrix(sweep=SATURATION_SWEEP) -> list[Leg]:
-    """The clients x pipeline-depth saturation sweep as runner legs."""
-    return [
+    """The clients x pipeline-depth saturation sweep as runner legs,
+    plus one per-command ablation point (group commit off at the old
+    plateau's load) so the coalescer's win stays measured, not assumed."""
+    legs = [
         leg(f"gateway:c{clients}xd{depth}", f"{_HERE}:serving_leg",
             warm=_GATEWAY_WARM, clients=clients, commands=commands,
             pipeline_depth=depth)
         for clients, depth, commands in sweep
     ]
+    legs.append(
+        leg("gateway:c512xd8-percmd", f"{_HERE}:serving_leg",
+            warm=_GATEWAY_WARM, clients=512, commands=8,
+            pipeline_depth=8, writer_lanes=1, group_commit=False,
+            reply_flush_frames=1))
+    return legs

@@ -63,6 +63,8 @@ from repro.obs import events, tracing
 from repro.sim import Engine, Resource, Store
 from repro.sim.engine import Event
 from repro.sim.units import USEC
+from repro.wal.base import PartialAppendError
+from repro.wal.record import RECORD_HEADER_BYTES
 
 
 class GatewayError(Exception):
@@ -92,9 +94,15 @@ class SimPipe:
         self._senders: deque[list] = deque()
         self._receiver: Optional[tuple[int, Event]] = None
 
-    def send(self, data: bytes) -> Event:
+    def send(self, data) -> Event:
+        """``data`` is one ``bytes`` or a list/tuple of frames.  A list is
+        scatter-gather: the frames are admitted as ONE contiguous write
+        and the parked receiver wakes once per flush instead of once per
+        frame — the reply-side half of group commit."""
         if self.closed:
             raise GatewayError("send on a closed pipe")
+        if isinstance(data, (list, tuple)):
+            data = b"".join(data)
         event = Event(self.engine)
         if self._senders:
             self.stalls += 1
@@ -239,7 +247,28 @@ class BoundedQueue:
 
 @dataclass
 class GatewayConfig:
-    """Serving knobs; defaults match the saturation bench's base leg."""
+    """Serving knobs; defaults match the saturation bench's base leg.
+
+    Group-commit knobs:
+
+    * ``writer_lanes`` — executor lanes per shard.  Keys are striped
+      across lanes (second-level blake2b routing), so per-key command
+      order is preserved while independent keys execute in parallel.
+    * ``group_commit`` — when true, writers register their LSN with the
+      shard's commit coalescer and park; one committer process per shard
+      covers every pending writer with a single ``commit(max_lsn)``
+      quorum barrier.  When false the PR-9 per-command append+commit
+      path runs unchanged.
+    * ``commit_batch_commands`` / ``commit_batch_bytes`` — the coalescer
+      caps: lanes stall once that much work is pending-or-in-flight, so
+      a barrier can never stretch past one knob's worth of commands (the
+      p999 governor).  ``commit_batch_commands=1`` degenerates to the
+      per-command commit cadence.
+    * ``reply_flush_frames`` — scatter-gather reply flushing: the
+      connection writer takes up to this many *already-settled* replies
+      per socket write (never waiting for more), one receiver wake per
+      flush.  ``1`` is the PR-9 frame-per-write behaviour.
+    """
 
     shards: Optional[int] = None  # None -> one per pool node
     replicas: int = 2
@@ -249,18 +278,50 @@ class GatewayConfig:
     max_conns: int = 4096
     socket_buffer_bytes: int = 4096
     max_frame_bytes: int = MAX_FRAME_BYTES
+    writer_lanes: int = 4
+    group_commit: bool = True
+    commit_batch_commands: int = 16
+    commit_batch_bytes: int = 64 * 1024
+    reply_flush_frames: int = 8
 
 
 @dataclass
 class _Shard:
-    """One partition: a dict, its replicated WAL stream, and a worker."""
+    """One partition: a dict, its replicated WAL stream, and its lanes.
+
+    ``applied_lsn`` is the shard's read horizon: the primary-stream end
+    LSN of the newest write already applied to ``data``.  Under group
+    commit applies land *before* their quorum barrier, so a GET that
+    observed ``applied_lsn > stream.durable_lsn`` must register with the
+    coalescer and ack only behind the covering barrier — reads never
+    leak state a crash could erase.
+
+    ``degrading`` / ``active_writers`` / ``writer_drain`` coordinate the
+    multi-lane degrade swap: the winning lane parks new writers on
+    ``degrading``, waits out in-flight appends via ``active_writers`` /
+    ``writer_drain``, and only then replays the log onto a fresh stream.
+    """
 
     index: int
     stream_name: str
     stream: object = None
     data: dict = field(default_factory=dict)
-    queue: BoundedQueue = None
-    worker: object = None
+    queues: list = field(default_factory=list)
+    lanes: list = field(default_factory=list)
+    coalescer: object = None
+    applied_lsn: int = 0
+    active_writers: int = 0
+    degrading: object = None
+    writer_drain: object = None
+
+    @property
+    def queue(self) -> BoundedQueue:
+        """Back-compat accessor for single-lane setups (tests, tools)."""
+        if len(self.queues) != 1:
+            raise GatewayError(
+                f"shard {self.index} has {len(self.queues)} lanes; "
+                f"use .queues")
+        return self.queues[0]
 
 
 class Connection:
@@ -291,6 +352,134 @@ class Connection:
         self.c2s.close()
 
 
+class _CommitCoalescer:
+    """Per-shard group commit: one quorum barrier acks a window.
+
+    Lanes ``register`` an ``(lsn, bytes, ack, body)`` entry and park on
+    the ack; the single committer process carves bounded batches off the
+    pending line and covers each with ONE ``stream.commit(max_lsn)``
+    quorum round trip — correct because ``ReplicatedBaWAL.commit`` is
+    LSN-monotonic and idempotent below ``_quorum_durable``.  Every
+    covered ack fires only *after* the barrier returns, so reproscan's
+    DUR001 dominance proof holds for the batched path exactly as it did
+    for the per-command one.
+
+    ``admit`` is the p999 governor: once pending + in-flight
+    registrations reach the command/byte caps, lanes park before
+    draining more work, bounding how many commands one barrier can
+    stretch over.  With ``commit_batch_commands=1`` the pipeline
+    degenerates to the per-command cadence: one writer in flight, one
+    barrier, one ack.
+
+    A quorum loss kills the committer mid-barrier; registered acks stay
+    parked and the admit window never refills, so the shard wedges
+    without ever acking an uncovered write — the same fail-stop shape as
+    a PR-9 worker dying mid-commit.
+    """
+
+    def __init__(self, server: "GatewayServer", shard: _Shard) -> None:
+        self.engine = server.engine
+        self.shard = shard
+        config = server.config
+        self.max_commands = max(1, config.commit_batch_commands)
+        self.max_bytes = max(1, config.commit_batch_bytes)
+        self.pending: deque = deque()  # (lsn, nbytes, ack, body)
+        self.pending_bytes = 0
+        self.inflight = 0
+        self.inflight_bytes = 0
+        self.stalls = 0
+        self.batches = 0
+        self.batched_commands = 0
+        self.max_batch = 0
+        self._signal = Store(self.engine)
+        self._kicked = False
+        self._admit_waiters: deque[Event] = deque()
+        self._idle_waiters: deque[Event] = deque()
+        self.worker = self.engine.process(
+            self._committer(), name=f"gw-commit-{shard.index}")
+
+    def _has_room(self) -> bool:
+        return (len(self.pending) + self.inflight < self.max_commands
+                and self.pending_bytes + self.inflight_bytes < self.max_bytes)
+
+    def room(self) -> int:
+        """How many more registrations fit before ``admit`` would park."""
+        return max(1, self.max_commands - len(self.pending) - self.inflight)
+
+    def admit(self) -> Event:
+        """Flow control: an event that fires once there is room to
+        register.  Already processed when the window has space."""
+        event = Event(self.engine)
+        if self._has_room():
+            event._triggered = True
+            event._processed = True
+        else:
+            self.stalls += 1
+            self._admit_waiters.append(event)
+        return event
+
+    def register(self, lsn: int, nbytes: int, ack: Event,
+                 body: bytes) -> None:
+        """Queue ``ack`` behind the next quorum barrier covering ``lsn``."""
+        self.pending.append((lsn, nbytes, ack, body))
+        self.pending_bytes += nbytes
+        if not self._kicked:
+            self._kicked = True
+            self._signal.put(True)
+
+    def quiesced(self) -> Iterator[Event]:
+        """Process: wait until nothing is pending or in flight.  A
+        degrade swap must not strand acks registered against LSNs of the
+        outgoing stream."""
+        while self.pending or self.inflight:
+            waiter = Event(self.engine)
+            self._idle_waiters.append(waiter)
+            yield waiter
+        return None
+
+    def _committer(self) -> Iterator[Event]:
+        engine = self.engine
+        shard = self.shard
+        while True:
+            yield self._signal.get()
+            self._kicked = False
+            while self.pending:
+                taken = [self.pending.popleft()]
+                taken_bytes = taken[0][1]
+                while (self.pending and len(taken) < self.max_commands
+                       and taken_bytes + self.pending[0][1] <= self.max_bytes):
+                    entry = self.pending.popleft()
+                    taken.append(entry)
+                    taken_bytes += entry[1]
+                self.pending_bytes -= taken_bytes
+                self.inflight = len(taken)
+                self.inflight_bytes = taken_bytes
+                target = max(entry[0] for entry in taken)
+                if tracing.enabled:
+                    _t0 = engine.now
+                # ONE quorum barrier covers every taken registration.
+                yield engine.process(shard.stream.commit(target))
+                if tracing.enabled:
+                    tracing.observe("gateway.wal.quorum", engine.now - _t0)
+                    tracing.observe("gateway.commit.batch", len(taken))
+                    tracing.count("gateway.commit.barriers")
+                self.batches += 1
+                self.batched_commands += len(taken)
+                self.max_batch = max(self.max_batch, len(taken))
+                for _lsn, _nbytes, ack, body in taken:
+                    ack.succeed(body)
+                self.inflight = 0
+                self.inflight_bytes = 0
+                self._release()
+
+    def _release(self) -> None:
+        while self._admit_waiters and self._has_room():
+            self._admit_waiters.popleft()._succeed_processed()
+        if not self.pending and not self.inflight:
+            while self._idle_waiters:
+                self._idle_waiters.popleft()._succeed_processed()
+
+
 class GatewayServer:
     """The in-engine serving core shared by the driver and the TCP bridge."""
 
@@ -305,6 +494,21 @@ class GatewayServer:
         self.pool = pool
         self.engine: Engine = pool.engine
         self.config = config or GatewayConfig()
+        if self.config.writer_lanes < 1:
+            raise GatewayError(
+                f"writer_lanes must be >= 1, got {self.config.writer_lanes}")
+        if self.config.commit_batch_commands < 1:
+            raise GatewayError(
+                f"commit_batch_commands must be >= 1, got "
+                f"{self.config.commit_batch_commands}")
+        if self.config.commit_batch_bytes < 1:
+            raise GatewayError(
+                f"commit_batch_bytes must be >= 1, got "
+                f"{self.config.commit_batch_bytes}")
+        if self.config.reply_flush_frames < 1:
+            raise GatewayError(
+                f"reply_flush_frames must be >= 1, got "
+                f"{self.config.reply_flush_frames}")
         shard_count = self.config.shards or len(pool.nodes)
         self.shards = [
             _Shard(index=index, stream_name=f"gw-shard-{index}")
@@ -334,11 +538,30 @@ class GatewayServer:
                 replicas=self.config.replicas,
                 quorum=self.config.quorum,
             ))
-            shard.queue = BoundedQueue(self.engine, self.config.queue_depth)
-            shard.worker = self.engine.process(
-                self._shard_worker(shard), name=f"gw-shard-{shard.index}")
+            self._spawn_shard_pipeline(shard)
         self._started = True
         return None
+
+    def _spawn_shard_pipeline(self, shard: _Shard) -> None:
+        """Fresh lanes, queues, and (when enabled) coalescer for a shard
+        whose stream is already adopted — shared by start and recover."""
+        lanes = self.config.writer_lanes
+        shard.queues = [
+            BoundedQueue(self.engine, self.config.queue_depth)
+            for _ in range(lanes)
+        ]
+        shard.coalescer = (_CommitCoalescer(self, shard)
+                           if self.config.group_commit else None)
+        shard.active_writers = 0
+        shard.degrading = None
+        shard.writer_drain = None
+        shard.lanes = [
+            self.engine.process(
+                self._lane_worker(shard, lane),
+                name=(f"gw-shard-{shard.index}" if lanes == 1
+                      else f"gw-shard-{shard.index}-l{lane}"))
+            for lane in range(lanes)
+        ]
 
     def stop(self) -> Iterator[Event]:
         """Process: close every shard stream (releases byte-path budget).
@@ -378,8 +601,18 @@ class GatewayServer:
 
     def shard_for_key(self, key: str) -> _Shard:
         """Deterministic key -> shard routing (blake2b, never ``hash()``)."""
+        return self._route_for_key(key)[0]
+
+    def _route_for_key(self, key: str) -> tuple[_Shard, int]:
+        """Key -> (shard, lane).  Lane striping uses the hash bits above
+        the shard modulus, so each key has ONE lane: per-key command
+        order is per-lane order, preserved across parallel lanes."""
         digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
-        return self.shards[int.from_bytes(digest, "big") % len(self.shards)]
+        h = int.from_bytes(digest, "big")
+        shard = self.shards[h % len(self.shards)]
+        lanes = len(shard.queues) or 1
+        lane = (h // len(self.shards)) % lanes
+        return shard, lane
 
     def stream_name_for_key(self, key: str) -> str:
         return self.shard_for_key(key).stream_name
@@ -425,8 +658,9 @@ class GatewayServer:
                 if tracing.enabled:
                     tracing.count("gateway.requests")
                     tracing.count(f"gateway.cmd.{command.name.lower()}")
-                shard = self.shard_for_key(key)
-                put = shard.queue.put((engine.now, command, key, value, done))
+                shard, lane = self._route_for_key(key)
+                put = shard.queues[lane].put(
+                    (engine.now, command, key, value, done))
                 if not put._processed:
                     if tracing.enabled:
                         tracing.count("gateway.backpressure.engaged")
@@ -434,7 +668,7 @@ class GatewayServer:
                         events.emit("gateway.backpressure.engaged",
                                     engine.now, conn=conn.id,
                                     shard=shard.index,
-                                    queue_depth=len(shard.queue))
+                                    queue_depth=len(shard.queues[lane]))
                 yield put
         conn.closed = True
         conn.replies.put(None)
@@ -459,23 +693,44 @@ class GatewayServer:
 
     def _conn_writer(self, conn: Connection) -> Iterator[Event]:
         engine = self.engine
+        flush_limit = self.config.reply_flush_frames
         while True:
             entry = yield conn.replies.get()
             if entry is None:
                 break
             done, slot = entry
             body = yield done
+            bodies = [body]
+            slots = [slot]
+            # Scatter-gather: greedily take replies that are *already*
+            # settled — a batched ack wakes a whole window at once —
+            # without ever waiting (gathering must not add latency), up
+            # to the flush knob, and write them as ONE pipe send.
+            while len(bodies) < flush_limit and conn.replies._items:
+                head = conn.replies._items[0]
+                if head is None:
+                    break  # EOF sentinel: leave it for the outer loop
+                head_done, head_slot = head
+                if (not head_done._triggered
+                        or head_done._exception is not None):
+                    break  # reply order is request order: stop at a gap
+                conn.replies._items.popleft()
+                bodies.append(head_done._value)
+                slots.append(head_slot)
             if tracing.enabled:
                 _t0 = engine.now
-            send = conn.s2c.send(encode_frame(body))
+            send = conn.s2c.send([encode_frame(body) for body in bodies])
             if tracing.enabled and not send._processed:
                 tracing.count("gateway.socket.stalls")
             yield send
-            conn.window.release(slot)
-            self.replies += 1
+            for slot in slots:
+                conn.window.release(slot)
+            self.replies += len(bodies)
             if tracing.enabled:
                 tracing.observe("gateway.reply.write", engine.now - _t0)
-                tracing.count("gateway.replies")
+                tracing.count("gateway.replies", len(bodies))
+                if len(bodies) > 1:
+                    tracing.observe("gateway.reply.flush", len(bodies))
         self._conns.pop(conn.id, None)
         self._closed_socket_stalls += conn.c2s.stalls + conn.s2c.stalls
         conn.s2c.close()
@@ -483,30 +738,216 @@ class GatewayServer:
 
     # -- shard execution ----------------------------------------------------
 
-    def _shard_worker(self, shard: _Shard) -> Iterator[Event]:
+    def _lane_worker(self, shard: _Shard, lane: int) -> Iterator[Event]:
+        """Process: one executor lane — the commands of one key stripe,
+        strictly in arrival order.
+
+        Without a coalescer this IS the PR-9 per-command worker: dequeue,
+        charge CPU, inline append + quorum + apply + ack.  With group
+        commit the lane waits for coalescer admission, drains a bounded
+        run of queued commands, and executes them as one batch whose acks
+        the shard committer covers with a single quorum barrier.
+        """
         engine = self.engine
+        queue = shard.queues[lane]
+        coalescer = shard.coalescer
         while True:
-            enqueued_at, command, key, value, done = yield shard.queue.get()
+            if coalescer is None:
+                entry = yield queue.get()
+                enqueued_at, command, key, value, done = entry
+                if tracing.enabled:
+                    tracing.observe("gateway.queue.wait",
+                                    engine.now - enqueued_at)
+                yield engine.timeout(self.COMMAND_CPU)
+                if command is Command.GET:
+                    payload = encode_value(shard.data.get(key))
+                    done.succeed(encode_reply(Reply.VALUE, payload))
+                    continue
+                body = yield engine.process(
+                    self._execute_write(shard, command, key, value))
+                done.succeed(body)
+                continue
+            admit = coalescer.admit()
+            if not admit._processed:
+                if tracing.enabled:
+                    tracing.count("gateway.coalescer.stalls")
+                yield admit
+            batch = [(yield queue.get())]
+            # Drain what is already queued, bounded by the coalescer's
+            # admission window — never waiting for more work to arrive.
+            room = coalescer.room()
+            while len(queue) and len(batch) < room:
+                batch.append(queue.get()._value)
+            yield engine.process(self._execute_batch(shard, batch))
+
+    def _execute_batch(self, shard: _Shard, batch: list) -> Iterator[Event]:
+        """Process: serve one drained run of lane commands.
+
+        Commands execute strictly in order: each pays its CPU cost and
+        reads observe every earlier apply.  Writes validate, apply, and
+        stage their AOF records; the whole run then lands with ONE
+        batched stream append (one primary insert-lock pass, one
+        interconnect message per replica) and every ack registers with
+        the shard's commit coalescer — no reply exists until the
+        committer's quorum barrier covers the run's highest LSN.
+
+        WAL-first still holds with the apply moved before the barrier:
+        the apply is instant (zero simulated time), invisible outside
+        this lane's key stripe until a reply leaves, and ``recover``
+        rebuilds state from the WAL alone.  A GET that observed
+        not-yet-durable state registers at the shard's applied horizon
+        and acks only behind the covering barrier, so reads never leak
+        state a crash could erase.
+        """
+        engine = self.engine
+        acks: list[tuple] = []  # ("w", record_index, done, body) | ("g", ...)
+        records: list[bytes] = []
+        for enqueued_at, command, key, value, done in batch:
             if tracing.enabled:
                 tracing.observe("gateway.queue.wait",
                                 engine.now - enqueued_at)
             yield engine.timeout(self.COMMAND_CPU)
             if command is Command.GET:
                 payload = encode_value(shard.data.get(key))
-                done.succeed(encode_reply(Reply.VALUE, payload))
+                body = encode_reply(Reply.VALUE, payload)
+                if records or shard.applied_lsn > shard.stream.durable_lsn:
+                    acks.append(("g", None, done, body))
+                else:
+                    done.succeed(body)
                 continue
-            body = yield engine.process(
-                self._execute_write(shard, command, key, value))
-            done.succeed(body)
+            if command is Command.INCR:
+                # Validate *before* the WAL append: a command that cannot
+                # apply must never reach the AOF (replay would fail too).
+                try:
+                    int(shard.data.get(key, b"0"))
+                except ValueError:
+                    self.errors += 1
+                    if tracing.enabled:
+                        tracing.count("gateway.errors")
+                    done.succeed(encode_reply(Reply.ERR,
+                                              b"value is not an integer"))
+                    continue
+            record = encode_command(command, key, value)
+            new_value = self._apply(shard, command, key, value)
+            if command is Command.INCR:
+                body = encode_reply(Reply.OK, new_value)
+            else:
+                body = encode_reply(Reply.OK)
+            acks.append(("w", len(records), done, body))
+            records.append(record)
+        lsns: list[int] = []
+        if records:
+            lsns = yield engine.process(
+                self._append_with_degrade(shard, records))
+            shard.applied_lsn = max(shard.applied_lsn, lsns[-1])
+        coalescer = shard.coalescer
+        horizon = shard.applied_lsn
+        for kind, index, done, body in acks:
+            if kind == "w":
+                coalescer.register(lsns[index], len(records[index]),
+                                   done, body)
+            else:
+                # A read of possibly-undurable state: ack it behind the
+                # barrier covering everything applied so far.
+                coalescer.register(horizon, 0, done, body)
+        return None
+
+    def _append_with_degrade(self, shard: _Shard,
+                             records: list[bytes]) -> Iterator[Event]:
+        """Process: land ``records`` on the shard stream, riding out at
+        most one mapping-table degrade (the PR-9 contract: one
+        degrade-and-retry, a second failure propagates).
+
+        Returns one end LSN per record, positionally.  Records appended
+        before a mid-batch failure are already in the old primary's log
+        (and shipped to its replicas), so they ride the degrade replay —
+        which quorum-commits them — and report the *new* stream's durable
+        horizon as their LSN: their coalescer registrations are covered
+        the moment the committer looks at them.
+        """
+        engine = self.engine
+        lsns: list[int] = []
+        remaining = records
+        for attempt in (0, 1):
+            while shard.degrading is not None:
+                yield shard.degrading
+            stream = shard.stream
+            shard.active_writers += 1
+            failure = None
+            appended = 0
+            try:
+                try:
+                    if tracing.enabled:
+                        _t0 = engine.now
+                    if len(remaining) == 1:
+                        got = [(yield engine.process(
+                            stream.append(remaining[0])))]
+                    else:
+                        got = yield engine.process(
+                            stream.append_batch(remaining))
+                    if tracing.enabled:
+                        tracing.observe("gateway.wal.append",
+                                        engine.now - _t0)
+                except MappingTableFullError as exc:
+                    failure = exc
+                except PartialAppendError as exc:
+                    failure = exc
+                    appended = len(exc.lsns)
+            finally:
+                shard.active_writers -= 1
+                if (shard.active_writers == 0
+                        and shard.writer_drain is not None):
+                    drain, shard.writer_drain = shard.writer_drain, None
+                    drain.succeed()
+            if failure is None:
+                return lsns + got
+            if attempt:
+                raise failure
+            remaining = remaining[appended:]
+            if shard.stream is stream:
+                if shard.degrading is not None:
+                    yield shard.degrading  # a peer lane is already on it
+                else:
+                    yield engine.process(self._quiesce_and_degrade(shard))
+            # else: a peer's swap finished while our append was failing;
+            # its replay already carried our appended prefix across.
+            lsns.extend([shard.stream.durable_lsn] * appended)
+        raise AssertionError("unreachable: attempt loop returns or raises")
+
+    def _quiesce_and_degrade(self, shard: _Shard) -> Iterator[Event]:
+        """Process: the multi-lane degrade dance.  The winning lane parks
+        every new writer (``shard.degrading``), waits out in-flight
+        appends and every coalescer registration (their barriers target
+        the *old* stream), then runs the staged replay-and-swap and
+        re-anchors the applied horizon in the new stream's LSN space.
+        """
+        engine = self.engine
+        shard.degrading = engine.event()
+        try:
+            while shard.active_writers > 0:
+                shard.writer_drain = engine.event()
+                yield shard.writer_drain
+            if shard.coalescer is not None:
+                yield engine.process(shard.coalescer.quiesced())
+            yield engine.process(self._degrade_shard(shard))
+            shard.applied_lsn = shard.stream.durable_lsn
+        finally:
+            done, shard.degrading = shard.degrading, None
+            done.succeed()
+        return None
 
     def _execute_write(self, shard: _Shard, command: Command, key: str,
                        value: bytes) -> Iterator[Event]:
         """Process: WAL-first commit — append, quorum, *then* apply.
 
-        The ack (the returned reply body) exists only after the AOF
-        record is quorum-durable; destage to NAND rides the BA-WAL's
-        background recycling.  One degrade-and-retry on byte-path
-        pressure; a second failure propagates.
+        The PR-9 per-command path, kept verbatim for ``group_commit=
+        False`` (the batch-size-1 golden rides it): the ack (the
+        returned reply body) exists only after the AOF record is
+        quorum-durable; destage to NAND rides the BA-WAL's background
+        recycling.  One degrade-and-retry on byte-path pressure; a
+        second failure propagates.  The ``active_writers`` bookkeeping
+        coordinates with peer lanes' degrades and costs no events on the
+        happy path.
         """
         engine = self.engine
         if command is Command.INCR:
@@ -521,7 +962,11 @@ class GatewayServer:
                 return encode_reply(Reply.ERR, b"value is not an integer")
         record = encode_command(command, key, value)
         for attempt in (0, 1):
+            while shard.degrading is not None:
+                yield shard.degrading
             stream = shard.stream
+            shard.active_writers += 1
+            failure = None
             try:
                 if tracing.enabled:
                     _t0 = engine.now
@@ -532,11 +977,23 @@ class GatewayServer:
                 yield engine.process(stream.commit(lsn))
                 if tracing.enabled:
                     tracing.observe("gateway.wal.quorum", engine.now - _t1)
+            except MappingTableFullError as exc:
+                failure = exc
+            finally:
+                shard.active_writers -= 1
+                if (shard.active_writers == 0
+                        and shard.writer_drain is not None):
+                    drain, shard.writer_drain = shard.writer_drain, None
+                    drain.succeed()
+            if failure is None:
+                shard.applied_lsn = max(shard.applied_lsn, lsn)
                 break
-            except MappingTableFullError:
-                if attempt:
-                    raise
-                yield engine.process(self._degrade_shard(shard))
+            if attempt:
+                raise failure
+            if shard.stream is stream and shard.degrading is None:
+                yield engine.process(self._quiesce_and_degrade(shard))
+            elif shard.degrading is not None:
+                yield shard.degrading
         new_value = self._apply(shard, command, key, value)
         if command is Command.INCR:
             return encode_reply(Reply.OK, new_value)
@@ -621,14 +1078,15 @@ class GatewayServer:
         for shard in self.shards:
             shard.stream = self.pool.streams[shard.stream_name]
             shard.stream.respawn_workers()
-            shard.queue = BoundedQueue(engine, self.config.queue_depth)
             shard.data = {}
             records = engine.run_process(shard.stream.recover())
-            for _lsn, payload in records:
+            applied = 0
+            for lsn, payload in records:
                 command, key, value = decode_command(bytes(payload))
                 self._apply(shard, command, key, value)
-            shard.worker = engine.process(
-                self._shard_worker(shard), name=f"gw-shard-{shard.index}")
+                applied = lsn + RECORD_HEADER_BYTES + len(payload)
+            shard.applied_lsn = applied
+            self._spawn_shard_pipeline(shard)
             rebuilt += 1
         if events.enabled:
             events.emit("gateway.recovered", engine.now, shards=rebuilt)
@@ -638,7 +1096,7 @@ class GatewayServer:
 
     def stats(self) -> dict:
         """JSON-safe serving counters (golden fixtures fold these in)."""
-        return {
+        stats = {
             "accepted": self.accepted,
             "refused": self.refused,
             "requests": self.requests,
@@ -646,8 +1104,8 @@ class GatewayServer:
             "errors": self.errors,
             "degrades": self.degrades,
             "open_conns": len(self._conns),
-            "queue_stalls": sum(shard.queue.stalls for shard in self.shards
-                                if shard.queue is not None),
+            "queue_stalls": sum(queue.stalls for shard in self.shards
+                                for queue in shard.queues),
             "socket_stalls": self._closed_socket_stalls + sum(
                 conn.c2s.stalls + conn.s2c.stalls
                 for conn in self._conns.values()),
@@ -658,3 +1116,14 @@ class GatewayServer:
                 for shard in self.shards
             ],
         }
+        if self.config.group_commit:
+            coalescers = [shard.coalescer for shard in self.shards
+                          if shard.coalescer is not None]
+            stats["group_commit"] = {
+                "barriers": sum(c.batches for c in coalescers),
+                "commands": sum(c.batched_commands for c in coalescers),
+                "max_batch": max((c.max_batch for c in coalescers),
+                                 default=0),
+                "admit_stalls": sum(c.stalls for c in coalescers),
+            }
+        return stats

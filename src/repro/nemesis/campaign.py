@@ -43,6 +43,7 @@ from repro.nemesis.analyzer import StreamingAnalyzer
 from repro.nemesis.faults import CATALOG
 from repro.obs import events
 from repro.obs.tracing import Tracer, activated as tracing_activated
+from repro.wal.base import PartialAppendError
 from repro.sim.units import KiB, USEC
 
 
@@ -82,6 +83,10 @@ class CampaignSpec:
     clients_per_stream: int = 2
     records_per_client: int = 10_000  # effectively "until the clock runs out"
     payload_bytes: int = 256
+    #: Records per client iteration: 1 is the per-record commit path;
+    #: >1 appends a batch and covers it with one quorum barrier before
+    #: acking any member (the gateway group-commit pattern under chaos).
+    batch: int = 1
     replicas: int = 2
     quorum: Optional[int] = None
     duration_us: float = 3000.0
@@ -301,6 +306,28 @@ class CampaignContext:
             stream = self.pool.streams.get(stream_name)
             if stream is None:
                 return None
+            if spec.batch > 1:
+                count = min(spec.batch, spec.records_per_client - seq)
+                payloads = [make_payload(stream_name, client, seq + i,
+                                         spec.payload_bytes)
+                            for i in range(count)]
+                try:
+                    lsns = yield engine.process(
+                        stream.append_batch(payloads))
+                except PartialAppendError as exc:
+                    # Only the durable prefix may ever be acked.
+                    lsns = list(exc.lsns)
+                    payloads = payloads[:len(lsns)]
+                try:
+                    yield engine.process(stream.commit_batch(lsns))
+                except QuorumLossError:
+                    self.quorum_losses += 1
+                    return None
+                now = engine.now
+                for payload in payloads:
+                    self.acked[stream_name].append((now, payload))
+                self.next_seq[key] = seq + len(payloads)
+                continue
             payload = make_payload(stream_name, client, seq,
                                    spec.payload_bytes)
             lsn = yield engine.process(stream.append(payload))

@@ -82,6 +82,20 @@ CAMPAIGNS: dict[str, CampaignSpec] = {
                fault("slow_die", 400.0, victim="primary:wal0",
                      die_index=1, factor=6.0, duration_us=500.0),
                fault("power_loss", 800.0, victim="replica:wal0"),)),
+        # -- group commit under chaos: batched appends covered by one
+        # quorum barrier per window, with power loss landing between the
+        # coalesced commit and the member acks.  The analyzer's recovery
+        # re-read proves a batched ack never over-promises durability. --
+        _spec("group-commit-power-loss-primary", 9015,
+              (fault("power_loss", 400.0, victim="primary:wal0"),),
+              batch=8),
+        _spec("group-commit-power-loss-replica", 9016,
+              (fault("power_loss", 400.0, victim="replica:wal0"),),
+              batch=8),
+        _spec("group-commit-failover-crash", 9017,
+              (fault("failover_crash", 350.0, victim="primary:wal0",
+                     second_victim="other:wal0", delay_us=40.0),),
+              batch=8),
         # -- the golden fixture's canonical 3-node campaign --
         _spec("golden-3node", 4242,
               (fault("power_loss", 250.0, victim="replica:wal0"),

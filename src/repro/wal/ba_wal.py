@@ -24,7 +24,7 @@ from repro.core.mapping_table import BaMappingEntry
 from repro.obs import tracing
 from repro.sim import Engine, Resource
 from repro.sim.engine import Event
-from repro.wal.base import WalStats, WriteAheadLog
+from repro.wal.base import PartialAppendError, WalStats, WriteAheadLog
 from repro.wal.record import (
     RECORD_HEADER_BYTES,
     RecordFormatError,
@@ -193,6 +193,79 @@ class BaWAL(WriteAheadLog):
         self.stats.appends += 1
         self.stats.bytes_appended += len(payload)
         return self._tail
+
+    def append_batch(self, payloads: list[bytes]) -> Iterator[Event]:
+        """Process: batched logging phase — ONE insert-lock pass, MMIO
+        writes coalesced per contiguous run inside a buffer half.
+
+        Record framing is identical to N :meth:`append` calls (same
+        LSNs, same segment padding); only the lock traffic and the WC
+        store count shrink.  Staged records become visible in ``lsns``
+        only after their MMIO lands, so a half-switch failing mid-batch
+        (mapping-table pressure stealing the recycle's pin) raises
+        :class:`~repro.wal.base.PartialAppendError` with exactly the
+        prefix that :meth:`recover` would see.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before appending")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        for payload in payloads:
+            record_len = RECORD_HEADER_BYTES + len(payload)
+            if record_len > self.segment_bytes:
+                raise ValueError(
+                    f"record of {record_len} bytes exceeds segment of "
+                    f"{self.segment_bytes}"
+                )
+        if tracing.enabled:
+            _t0 = self.engine.now
+        lsns: list[int] = []
+        lock = self._insert_lock.request()
+        yield lock
+        try:
+            staged = bytearray()
+            staged_offset = 0
+            staged_lsns: list[int] = []
+            staged_bytes = 0  # payload bytes inside `staged`
+            for payload in payloads:
+                record_len = RECORD_HEADER_BYTES + len(payload)
+                half = self._halves[self._active]
+                used = self._tail - half.stream_base
+                if used + record_len > self.segment_bytes:
+                    if staged:
+                        yield self.engine.process(self.api.mmio_write(
+                            half.entry, staged_offset, bytes(staged)))
+                        lsns.extend(staged_lsns)
+                        self.stats.appends += len(staged_lsns)
+                        self.stats.bytes_appended += staged_bytes
+                        staged = bytearray()
+                        staged_lsns = []
+                        staged_bytes = 0
+                    try:
+                        yield self.engine.process(self._switch_halves())
+                    except Exception as exc:
+                        raise PartialAppendError(lsns, exc) from exc
+                    half = self._halves[self._active]
+                if not staged:
+                    staged_offset = self._tail - half.stream_base
+                record = encode_record(self._tail, payload)
+                staged += record
+                self._tail += len(record)
+                staged_lsns.append(self._tail)
+                staged_bytes += len(payload)
+            if staged:
+                half = self._halves[self._active]
+                yield self.engine.process(self.api.mmio_write(
+                    half.entry, staged_offset, bytes(staged)))
+                lsns.extend(staged_lsns)
+                self.stats.appends += len(staged_lsns)
+                self.stats.bytes_appended += staged_bytes
+        finally:
+            self._insert_lock.release(lock)
+        if tracing.enabled:
+            tracing.observe("wal.ba.append_batch", self.engine.now - _t0)
+        return lsns
 
     def commit(self, lsn: int) -> Iterator[Event]:
         """Process: commit phase — BA_SYNC the active half.

@@ -34,6 +34,23 @@ class WalStats:
         return self.bytes_appended / self.appends if self.appends else 0.0
 
 
+class PartialAppendError(Exception):
+    """A batched append failed part-way through the batch.
+
+    ``lsns`` holds the end LSNs of the records that *did* land, in batch
+    order; ``cause`` is the underlying error for the first record that
+    did not.  The appended prefix is real log content — it is in the
+    stream and will be replicated/recovered like any other record — so a
+    caller may retry only the remaining suffix.
+    """
+
+    def __init__(self, lsns: list[int], cause: BaseException) -> None:
+        super().__init__(
+            f"batch append stopped after {len(lsns)} record(s): {cause}")
+        self.lsns = list(lsns)
+        self.cause = cause
+
+
 class WriteAheadLog(abc.ABC):
     """A log stream with byte-offset LSNs and a durability horizon.
 
@@ -73,3 +90,33 @@ class WriteAheadLog(abc.ABC):
         lsn = yield self.engine.process(self.append(payload))
         yield self.engine.process(self.commit(lsn))
         return lsn
+
+    def append_batch(self, payloads: list[bytes]) -> Iterator[Event]:
+        """Process: append ``payloads`` in order; returns their end LSNs.
+
+        The group-commit logging phase.  This default is a plain loop
+        over :meth:`append`; backends override it to amortize per-record
+        overheads (one insert-lock pass, coalesced MMIO or DRAM copies,
+        one interconnect message per replica).  A failure part-way
+        through raises :class:`PartialAppendError` carrying the LSNs of
+        the prefix that did land.
+        """
+        lsns: list[int] = []
+        for payload in payloads:
+            try:
+                lsn = yield self.engine.process(self.append(payload))
+            except PartialAppendError as exc:
+                raise PartialAppendError(lsns + exc.lsns, exc.cause) from exc
+            except Exception as exc:
+                raise PartialAppendError(lsns, exc) from exc
+            lsns.append(lsn)
+        return lsns
+
+    def commit_batch(self, lsns: list[int]) -> Iterator[Event]:
+        """Process: group fsync — ONE durability barrier covers every LSN
+        in ``lsns``.  Correct because ``commit`` is monotonic: making the
+        stream durable at ``max(lsns)`` makes it durable at each of them.
+        """
+        if lsns:
+            yield self.engine.process(self.commit(max(lsns)))
+        return None

@@ -24,7 +24,12 @@ from repro.obs import tracing
 from repro.sim import Engine, Resource, Store
 from repro.sim.engine import Event
 from repro.ssd.device import BlockSSD
-from repro.wal.base import CommitMode, WalStats, WriteAheadLog
+from repro.wal.base import (
+    CommitMode,
+    PartialAppendError,
+    WalStats,
+    WriteAheadLog,
+)
 from repro.wal.record import decode_record, encode_record, RecordFormatError
 
 
@@ -97,6 +102,44 @@ class BlockWAL(WriteAheadLog):
         if self.mode is CommitMode.ASYNCHRONOUS:
             self._kick_writer()
         return self._tail
+
+    def append_batch(self, payloads: list[bytes]) -> Iterator[Event]:
+        """Process: batched append — one insert-lock pass and ONE DRAM
+        copy charge for the whole batch; framing identical to N
+        :meth:`append` calls.  An overflow mid-batch raises
+        :class:`~repro.wal.base.PartialAppendError` with the prefix that
+        landed in the page cache."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        lock = self._insert_lock.request()
+        yield lock
+        lsns: list[int] = []
+        try:
+            total = 0
+            for payload in payloads:
+                record = encode_record(self._tail, payload)
+                if (self._tail + len(record) - self._durable
+                        > self.area_pages * self.page_size):
+                    overflow = RuntimeError(
+                        "log area overflow: checkpoint/truncate before "
+                        "wrapping over undurable records"
+                    )
+                    if lsns:
+                        raise PartialAppendError(lsns, overflow)
+                    raise overflow
+                self._copy_into_pages(self._tail, record)
+                self._tail += len(record)
+                total += len(record)
+                lsns.append(self._tail)
+                self.stats.appends += 1
+                self.stats.bytes_appended += len(payload)
+            yield self.engine.process(self.cpu.dram_copy(total))
+        finally:
+            self._insert_lock.release(lock)
+        if self.mode is CommitMode.ASYNCHRONOUS:
+            self._kick_writer()
+        return lsns
 
     def commit(self, lsn: int) -> Iterator[Event]:
         self.stats.commits += 1

@@ -1,0 +1,46 @@
+"""Mutant: a group-commit committer acks a parked writer before the
+covering quorum barrier completes.
+
+Shaped like the gateway's commit coalescer: writers register an ack
+event and park; the committer carves a batch and must dominate every
+``ack.succeed()`` with the yielded quorum barrier covering the batch's
+max LSN.  Here the first ack fires *before* the barrier — the coalesced
+analogue of ``mut_ack_before_quorum``.  The post-barrier ack loop is
+correct and must stay unflagged.
+
+Expected: exactly one DUR001 at the early ``ack.succeed()`` in
+``_committer``.
+"""
+
+from typing import Iterator
+
+from repro.sim.engine import Event
+
+
+class MutantCoalescer:
+    def __init__(self, engine, legs, quorum: int) -> None:
+        self.engine = engine
+        self.legs = legs
+        self.quorum = quorum
+        self.pending: list = []  # (lsn, ack) registered by parked writers
+
+    def register(self, lsn: int, ack) -> None:
+        self.pending.append((lsn, ack))
+
+    def _committer(self) -> Iterator[Event]:
+        while self.pending:
+            batch, self.pending = self.pending, []
+            target = max(lsn for lsn, _ack in batch)
+            first_lsn, first_ack = batch[0]
+            first_ack.succeed(first_lsn)  # BUG: acked before the barrier
+            # ONE quorum barrier covers every batched registration...
+            yield self.engine.process(self._await_quorum(target))
+            # ...so the remaining acks are correctly dominated by it.
+            for lsn, ack in batch[1:]:
+                ack.succeed(lsn)
+        return None
+
+    def _await_quorum(self, lsn: int) -> Iterator[Event]:
+        acks = [self.engine.event() for _leg in self.legs]
+        yield self.engine.all_of(acks[: self.quorum])
+        return None

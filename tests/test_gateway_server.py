@@ -195,7 +195,8 @@ def test_slowloris_reader_is_bounded_not_buffered():
     # Pause mid-run and check the bounds while backpressure is live.
     engine.run(until=engine.timeout(2e-4))
     for shard in server.shards:
-        assert len(shard.queue) <= config.queue_depth
+        for queue in shard.queues:
+            assert len(queue) <= config.queue_depth
     for conn in server._conns.values():
         assert len(conn.c2s._buffer) <= config.socket_buffer_bytes
         assert len(conn.s2c._buffer) <= config.socket_buffer_bytes
@@ -225,8 +226,11 @@ def test_mapping_pressure_degrades_shard_to_block_wal():
     # Exhaust the remaining byte-path budget on both nodes.
     for index in range(3):
         engine.run_process(pool.open_stream(f"filler-{index}", replicas=2))
-    # Inject byte-path pressure on the next append only.
+    # Inject byte-path pressure on the next append only (the group-commit
+    # path routes multi-record runs through append_batch, single-record
+    # runs through append — arm both).
     real_append = shard.stream.append
+    real_append_batch = shard.stream.append_batch
     state = {"armed": True}
 
     def flaky_append(payload):
@@ -235,7 +239,14 @@ def test_mapping_pressure_degrades_shard_to_block_wal():
             raise MappingTableFullError("mapping table exhausted")
         return real_append(payload)
 
+    def flaky_append_batch(payloads):
+        if state["armed"]:
+            state["armed"] = False
+            raise MappingTableFullError("mapping table exhausted")
+        return real_append_batch(payloads)
+
     shard.stream.append = flaky_append
+    shard.stream.append_batch = flaky_append_batch
     load = GatewayLoad(server, value_bytes=32)
     sessions = [engine.process(load.client(client_id, 8))
                 for client_id in range(4)]

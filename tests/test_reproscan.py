@@ -22,6 +22,7 @@ SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
 MUTANTS = {
     "mut_synced_before_sync.py": "DUR001",
     "mut_ack_before_quorum.py": "DUR001",
+    "mut_coalesced_ack_before_barrier.py": "DUR001",
     "mut_drop_fsync_manifest.py": "DUR002",
     "mut_extents_before_fsync.py": "DUR002",
     "mut_bare_yield.py": "GEN001",
